@@ -1,0 +1,111 @@
+//! Codec throughput: UPER encode/decode of CAMs and DENMs and full
+//! GeoNetworking packet assembly — the per-message cost inside the
+//! paper's step-2→3 and step-3→4 intervals.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use geonet::btp::BtpPort;
+use geonet::headers::TrafficClass;
+use geonet::{GeoArea, GnAddress, GnPacket, LongPositionVector};
+use its_messages::cam::Cam;
+use its_messages::cause_codes::{CauseCode, CollisionRiskSubCause};
+use its_messages::common::{
+    ActionId, Heading, ReferencePosition, Speed, StationId, StationType, TimestampIts,
+};
+use its_messages::denm::{Denm, ManagementContainer, SituationContainer};
+use std::hint::black_box;
+
+fn sample_denm() -> Denm {
+    let rsu = StationId::new(15).unwrap();
+    Denm::new(
+        rsu,
+        ManagementContainer::new(
+            ActionId::new(rsu, 1),
+            TimestampIts::new(1_000).unwrap(),
+            TimestampIts::new(1_005).unwrap(),
+            ReferencePosition::from_degrees(41.178, -8.608),
+            StationType::RoadSideUnit,
+        ),
+    )
+    .with_situation(
+        SituationContainer::new(
+            7,
+            CauseCode::CollisionRisk(CollisionRiskSubCause::CrossingCollisionRisk),
+        )
+        .unwrap(),
+    )
+}
+
+fn sample_cam() -> Cam {
+    Cam::basic(
+        StationId::new(7).unwrap(),
+        4321,
+        StationType::PassengerCar,
+        ReferencePosition::from_degrees(41.178, -8.608),
+    )
+    .with_dynamics(Heading::from_degrees(270.0), Speed::from_mps(1.5))
+}
+
+fn bench(c: &mut Criterion) {
+    let denm = sample_denm();
+    let denm_bytes = denm.to_bytes().unwrap();
+    let cam = sample_cam();
+    let cam_bytes = cam.to_bytes().unwrap();
+    println!(
+        "\nwire sizes: DENM {} bytes, CAM {} bytes",
+        denm_bytes.len(),
+        cam_bytes.len()
+    );
+
+    let mut group = c.benchmark_group("codec");
+    group.throughput(Throughput::Bytes(denm_bytes.len() as u64));
+    group.bench_function("denm_encode", |b| {
+        b.iter(|| black_box(denm.to_bytes().unwrap()))
+    });
+    group.bench_function("denm_decode", |b| {
+        b.iter(|| black_box(Denm::from_bytes(black_box(&denm_bytes)).unwrap()))
+    });
+    group.throughput(Throughput::Bytes(cam_bytes.len() as u64));
+    group.bench_function("cam_encode", |b| {
+        b.iter(|| black_box(cam.to_bytes().unwrap()))
+    });
+    group.bench_function("cam_decode", |b| {
+        b.iter(|| black_box(Cam::from_bytes(black_box(&cam_bytes)).unwrap()))
+    });
+    group.finish();
+
+    let source = LongPositionVector::new(GnAddress::new(15), 1_005, 41.178, -8.608, 0.0, 0.0);
+    let area = GeoArea::circle(41.178, -8.608, 100.0);
+    let packet = GnPacket::geo_broadcast(
+        source,
+        1,
+        area,
+        TrafficClass::dp0(),
+        BtpPort::DENM,
+        denm_bytes.clone(),
+    );
+    let wire = packet.to_bytes();
+    println!("full GN frame: {} bytes", wire.len());
+
+    let mut group = c.benchmark_group("geonet");
+    group.throughput(Throughput::Bytes(wire.len() as u64));
+    group.bench_function("gbc_packet_assemble", |b| {
+        b.iter(|| {
+            let p = GnPacket::geo_broadcast(
+                black_box(source),
+                1,
+                black_box(area),
+                TrafficClass::dp0(),
+                BtpPort::DENM,
+                denm_bytes.clone(),
+            );
+            black_box(p.to_bytes())
+        })
+    });
+    group.bench_function("gbc_packet_parse", |b| {
+        b.iter(|| black_box(GnPacket::from_bytes(black_box(&wire)).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

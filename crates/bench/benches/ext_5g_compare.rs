@@ -1,0 +1,73 @@
+//! Extension experiment (paper §V): "installing a 5G module in the
+//! robotic vehicles, to compare the same detection-to-action delay over
+//! a different interface and network".
+//!
+//! Runs the identical collision-avoidance scenario with the DENM carried
+//! over 802.11p and over three cellular profiles, comparing Table II's
+//! intervals per interface.
+
+use bench::base_config;
+use criterion::{criterion_group, criterion_main, Criterion};
+use its_testbed::metrics::mean;
+use its_testbed::scenario::{DenmLink, Scenario, ScenarioConfig};
+use phy80211p::cellular::CellularProfile;
+use std::hint::black_box;
+
+fn campaign(link: DenmLink, runs: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut hop = Vec::new();
+    let mut total = Vec::new();
+    for i in 0..runs {
+        let r = Scenario::new(ScenarioConfig {
+            seed: 3000 + i as u64,
+            denm_link: link,
+            ..base_config()
+        })
+        .run();
+        if let (Some(h), Some(t)) = (r.interval_3_4_ms(), r.total_delay_ms()) {
+            hop.push(h as f64);
+            total.push(t as f64);
+        }
+    }
+    (hop, total)
+}
+
+fn bench(c: &mut Criterion) {
+    println!("\ndetection-to-action per access technology (30 runs each):");
+    println!("  interface       RSU->OBU hop (ms)   total delay (ms)   <100ms");
+    let cases = [
+        ("802.11p", DenmLink::Its80211p),
+        ("5G URLLC", DenmLink::Cellular(CellularProfile::urllc_5g())),
+        ("5G NSA", DenmLink::Cellular(CellularProfile::nsa_5g())),
+        ("LTE Uu", DenmLink::Cellular(CellularProfile::lte_uu())),
+    ];
+    for (name, link) in cases {
+        let (hop, total) = campaign(link, 30);
+        let all_under = total.iter().all(|&t| t < 100.0);
+        println!(
+            "  {name:<12}   {:>17.1}   {:>16.1}   {all_under}",
+            mean(&hop),
+            mean(&total)
+        );
+    }
+
+    let mut group = c.benchmark_group("ext_5g");
+    group.sample_size(20);
+    group.bench_function("scenario_over_nsa_5g", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(
+                Scenario::new(ScenarioConfig {
+                    seed,
+                    denm_link: DenmLink::Cellular(CellularProfile::nsa_5g()),
+                    ..base_config()
+                })
+                .run(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Extension experiment (paper §V): detection-to-action delay for a
+//! whole platoon, with a platoon-size sweep under both delivery
+//! arrangements.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use its_testbed::platoon::{run_platoon, PlatoonConfig, PlatoonLink};
+use phy80211p::cellular::CellularProfile;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\nplatoon detection-to-action delay (worst vehicle), ms:");
+    println!("  size   direct GBC   5G relay   LTE relay   min gap (direct)");
+    for n in [2usize, 3, 4, 6, 8] {
+        let direct = run_platoon(&PlatoonConfig {
+            seed: 50,
+            n_vehicles: n,
+            ..PlatoonConfig::default()
+        });
+        let relay5g = run_platoon(&PlatoonConfig {
+            seed: 50,
+            n_vehicles: n,
+            link: PlatoonLink::LeaderCellularRelay(CellularProfile::nsa_5g()),
+            ..PlatoonConfig::default()
+        });
+        let relay_lte = run_platoon(&PlatoonConfig {
+            seed: 50,
+            n_vehicles: n,
+            link: PlatoonLink::LeaderCellularRelay(CellularProfile::lte_uu()),
+            ..PlatoonConfig::default()
+        });
+        println!(
+            "  {n:>4}   {:>10.1}   {:>8.1}   {:>9.1}   {:>7.2} m",
+            direct.platoon_action_ms,
+            relay5g.platoon_action_ms,
+            relay_lte.platoon_action_ms,
+            direct.min_gap_m
+        );
+    }
+
+    let mut group = c.benchmark_group("ext_platoon");
+    group.sample_size(20);
+    group.bench_function("run_platoon_4_direct", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_platoon(&PlatoonConfig {
+                seed,
+                ..PlatoonConfig::default()
+            }))
+        })
+    });
+    group.bench_function("run_platoon_8_relay", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_platoon(&PlatoonConfig {
+                seed,
+                n_vehicles: 8,
+                link: PlatoonLink::LeaderCellularRelay(CellularProfile::nsa_5g()),
+                ..PlatoonConfig::default()
+            }))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

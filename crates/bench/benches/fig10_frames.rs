@@ -1,0 +1,58 @@
+//! Regenerates **Figure 10** (video frames to obtain the detection-to-
+//! stop period) and benchmarks the camera/detector pipeline stage.
+
+use bench::base_config;
+use criterion::{criterion_group, criterion_main, Criterion};
+use its_testbed::experiments::fig10;
+use its_testbed::scenario::ScenarioConfig;
+use perception::camera::{GroundTruthTarget, RoadSideCamera, TargetAppearance};
+use perception::detector::YoloModel;
+use sim_core::{SimRng, SimTime};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let f = fig10(&base_config());
+    println!("\n{}", f.render());
+
+    // Sensitivity to the processing frame rate: the quantisation error
+    // shrinks with FPS.
+    println!("frame-rate sensitivity (same run, re-measured):");
+    for fps in [2.0, 4.0, 8.0, 15.0] {
+        let cfg = ScenarioConfig {
+            camera: RoadSideCamera {
+                processed_fps: fps,
+                ..RoadSideCamera::default()
+            },
+            ..base_config()
+        };
+        let f = fig10(&cfg);
+        println!(
+            "  {fps:>4.0} FPS: true {:.3} s, frame-measured {:.3} s (err {:+.3} s)",
+            f.true_detection_to_stop_s,
+            f.frame_measured_s,
+            f.frame_measured_s - f.true_detection_to_stop_s
+        );
+    }
+
+    let camera = RoadSideCamera::default();
+    let yolo = YoloModel::default();
+    c.bench_function("fig10/frame_detection_pass", |b| {
+        let mut rng = SimRng::seed_from(1);
+        b.iter(|| {
+            let target = GroundTruthTarget {
+                id: 1,
+                distance_m: black_box(1.45),
+                bearing_deg: 0.0,
+                appearance: TargetAppearance::WithStopSign,
+            };
+            if camera.sees(&target) {
+                black_box(yolo.process_frame(SimTime::ZERO, &[target], &mut rng))
+            } else {
+                Vec::new()
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Regenerates **Figure 11** (empirical distribution function of the
+//! total delay samples) and, per the paper's future work, fits candidate
+//! distributions to a larger campaign.
+
+use bench::base_config;
+use criterion::{criterion_group, criterion_main, Criterion};
+use its_testbed::experiments::fig11;
+use its_testbed::metrics::{
+    bootstrap_ci, fit_normal, fit_shifted_exponential, ks_statistic, mean, Edf,
+};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // The paper's figure: 5 samples.
+    let f = fig11(&base_config(), 5);
+    println!("\n{}", f.render());
+
+    // §V future work: "more measurements to produce a more comprehensive
+    // CDF … and possibly model it with an appropriate distribution".
+    let big = fig11(&base_config(), 150);
+    let normal = fit_normal(&big.edf);
+    let sexp = fit_shifted_exponential(&big.edf);
+    println!("150-run CDF:");
+    for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99] {
+        println!(
+            "  p{:<4} {:>6.1} ms",
+            (q * 100.0) as u32,
+            big.edf.quantile(q)
+        );
+    }
+    println!(
+        "  normal fit mu={:.1} sigma={:.1} (KS {:.3})",
+        normal.mean,
+        normal.std_dev,
+        ks_statistic(&big.edf, |x| normal.cdf(x))
+    );
+    println!(
+        "  shifted-exp fit shift={:.1} scale={:.1} (KS {:.3})",
+        sexp.shift,
+        sexp.scale,
+        ks_statistic(&big.edf, |x| sexp.cdf(x))
+    );
+    // Error bars the paper's five runs cannot provide: bootstrap CI on
+    // the mean from both sample sizes.
+    let ci5 = bootstrap_ci(&f.edf, mean, 0.95, 4000, 11);
+    let ci150 = bootstrap_ci(&big.edf, mean, 0.95, 4000, 11);
+    println!(
+        "  mean total delay 95% CI: n=5 [{:.1}, {:.1}] ms | n=150 [{:.1}, {:.1}] ms",
+        ci5.low, ci5.high, ci150.low, ci150.high
+    );
+
+    let samples = big.edf.samples().to_vec();
+    c.bench_function("fig11/edf_build_and_quantiles", |b| {
+        b.iter(|| {
+            let edf = Edf::from_samples(black_box(samples.clone()));
+            black_box((edf.quantile(0.5), edf.quantile(0.95), edf.mean()))
+        })
+    });
+    c.bench_function("fig11/ks_statistic", |b| {
+        b.iter(|| black_box(ks_statistic(&big.edf, |x| normal.cdf(x))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Regenerates **Table I** (available cause codes) and benchmarks the
+//! cause-code encode/decode path every DENM takes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use its_messages::cause_codes::{CauseCode, TABLE_I_ROWS};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", its_testbed::experiments::table1());
+
+    c.bench_function("table1/causecode_roundtrip_all_rows", |b| {
+        b.iter(|| {
+            for &(cause, sub, _) in TABLE_I_ROWS {
+                let cc = CauseCode::from_codes(black_box(cause), black_box(sub));
+                let bytes = uper::encode(&cc).unwrap();
+                let back: CauseCode = uper::decode(&bytes).unwrap();
+                black_box(back);
+            }
+        })
+    });
+
+    c.bench_function("table1/requires_emergency_brake_lookup", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for cause in 0u8..=255 {
+                for sub in [0u8, 1, 2] {
+                    if CauseCode::from_codes(cause, sub).requires_emergency_brake() {
+                        hits += 1;
+                    }
+                }
+            }
+            black_box(hits)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Regenerates **Table II** (time interval measurements) — the paper's
+//! central result — and benchmarks a full end-to-end scenario run.
+//!
+//! The printed table has the paper's exact row structure (five runs plus
+//! averages); a 200-run campaign adds the statistics and checks the
+//! §IV-C headline claim (consistently under 100 ms).
+
+use bench::{base_config, stat_line};
+use criterion::{criterion_group, criterion_main, Criterion};
+use its_testbed::experiments::{paper, table2};
+use its_testbed::metrics::mean;
+use its_testbed::scenario::{Scenario, ScenarioConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // The paper's table: 5 runs.
+    let t = table2(&base_config(), 5);
+    println!("\n{}", t.render());
+    println!(
+        "paper reference: #2->#3 avg {:.1} | #3->#4 avg {:.1} | #4->#5 avg {:.1} | total avg {:.1} ms",
+        mean(&paper::INTERVAL_2_3),
+        mean(&paper::INTERVAL_3_4),
+        mean(&paper::INTERVAL_4_5),
+        mean(&paper::TOTAL)
+    );
+
+    // Larger campaign for the headline claim.
+    let big = table2(&base_config(), 200);
+    println!("\n200-run campaign:");
+    println!("  {}", stat_line("#2->#3 (ms)", &big.interval_2_3));
+    println!("  {}", stat_line("#3->#4 (ms)", &big.interval_3_4));
+    println!("  {}", stat_line("#4->#5 (ms)", &big.interval_4_5));
+    println!("  {}", stat_line("total  (ms)", &big.total));
+    let max = big.total.iter().copied().fold(0.0f64, f64::max);
+    println!("  headline claim (all < 100 ms): {}", max < 100.0);
+
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(20);
+    group.bench_function("full_scenario_run", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let record = Scenario::new(ScenarioConfig {
+                seed,
+                ..base_config()
+            })
+            .run();
+            black_box(record.total_delay_ms())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

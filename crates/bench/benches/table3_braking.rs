@@ -1,0 +1,60 @@
+//! Regenerates **Table III** (distance travelled from detection to halt)
+//! and benchmarks the braking-dominated portion of a run, plus the
+//! full-size extrapolation model of §IV-B's outlook.
+
+use bench::{base_config, stat_line};
+use criterion::{criterion_group, criterion_main, Criterion};
+use its_testbed::experiments::{paper, table3};
+use its_testbed::metrics::mean;
+use its_testbed::scaling::{extrapolate_braking_distance, BrakingProfile};
+use std::hint::black_box;
+use vehicle::dynamics::{LongitudinalModel, VehicleParams};
+
+fn bench(c: &mut Criterion) {
+    // The paper's table: 7 runs.
+    let t = table3(&base_config(), 7);
+    println!("\n{}", t.render());
+    println!(
+        "paper reference: {:?} (avg {:.2} m, variance 0.0022)",
+        paper::BRAKING,
+        mean(&paper::BRAKING)
+    );
+
+    let big = table3(&base_config(), 100);
+    println!("\n100-run campaign:");
+    println!("  {}", stat_line("braking distance (m)", &big.braking_m));
+
+    // §IV-B outlook: map the measured scale distance to full size.
+    let scale = BrakingProfile::scale_power_cut();
+    let service = BrakingProfile::full_size_service_brake();
+    let emergency = BrakingProfile::full_size_emergency_brake();
+    println!(
+        "\nfull-size extrapolation of the measured mean ({:.2} m @ 1.5 m/s):",
+        t.mean()
+    );
+    for (label, profile, v_kmh) in [
+        ("service brake @ 50 km/h", &service, 50.0),
+        ("service brake @ 100 km/h", &service, 100.0),
+        ("AEB @ 50 km/h", &emergency, 50.0),
+        ("AEB @ 100 km/h", &emergency, 100.0),
+    ] {
+        let d = extrapolate_braking_distance(t.mean(), &scale, 1.5, profile, v_kmh / 3.6);
+        println!("  {label}: {d:.1} m");
+    }
+
+    let mut group = c.benchmark_group("table3");
+    group.bench_function("coast_down_integration", |b| {
+        b.iter(|| {
+            let mut car = LongitudinalModel::new(VehicleParams::default());
+            car.set_speed(black_box(1.5));
+            black_box(car.coast_down_distance())
+        })
+    });
+    group.bench_function("full_size_stopping_distance", |b| {
+        b.iter(|| black_box(service.stopping_distance(black_box(27.8))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

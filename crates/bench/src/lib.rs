@@ -1,0 +1,49 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every bench regenerates one table or figure of the paper: it first
+//! prints the artefact (so `cargo bench` output contains the same rows
+//! the paper reports) and then measures the underlying computation with
+//! Criterion.
+
+use its_testbed::scenario::ScenarioConfig;
+
+/// The base configuration used by every table/figure bench, seeded so
+/// that all benches report from the same simulated campaign.
+pub fn base_config() -> ScenarioConfig {
+    ScenarioConfig {
+        seed: 20230627,
+        ..ScenarioConfig::default()
+    }
+}
+
+/// Formats a mean/sd/min/max line for the bench reports.
+pub fn stat_line(name: &str, xs: &[f64]) -> String {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    format!(
+        "{name}: mean {mean:.2}, sd {:.2}, min {:.2}, max {:.2} (n={})",
+        var.sqrt(),
+        xs.iter().copied().fold(f64::INFINITY, f64::min),
+        xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        xs.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_config_is_paper_shaped() {
+        let c = base_config();
+        assert_eq!(c.action_point_m, 1.52);
+    }
+
+    #[test]
+    fn stat_line_formats() {
+        let s = stat_line("x", &[1.0, 2.0, 3.0]);
+        assert!(s.contains("mean 2.00"));
+        assert!(s.contains("n=3"));
+    }
+}

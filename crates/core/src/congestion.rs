@@ -1,0 +1,246 @@
+//! Channel-congestion experiment: many CAM-beaconing stations on one
+//! 802.11p channel, with the reactive DCC gatekeeper in the loop.
+//!
+//! The paper's laboratory has two radios and a quiet channel; its
+//! platoon future work (§V) implies many. This experiment scales the
+//! station count and measures what the access layer does: the channel
+//! busy ratio, the DCC state the fleet settles into, and the per-station
+//! CAM rate that actually reaches the air — the classic
+//! beaconing-vs-congestion-control trade-off.
+
+use its_messages::common::StationId;
+use openc2x::node::{ItsStation, StationConfig};
+use phy80211p::dcc::DccState;
+use phy80211p::edca::Medium;
+use phy80211p::ofdm::airtime;
+use phy80211p::Position2D;
+use sim_core::{NodeClock, NtpModel, SimDuration, SimRng, SimTime};
+
+/// Configuration of the congestion experiment.
+#[derive(Debug, Clone)]
+pub struct CongestionConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of beaconing stations.
+    pub n_stations: usize,
+    /// Simulated duration.
+    pub duration: SimDuration,
+    /// Station poll period (how often each checks its CA service).
+    pub poll_period: SimDuration,
+    /// Stations drive in a loop so the CA position trigger keeps firing;
+    /// this is their common speed, m/s.
+    pub speed_mps: f64,
+}
+
+impl Default for CongestionConfig {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            n_stations: 10,
+            duration: SimDuration::from_secs(20),
+            poll_period: SimDuration::from_millis(20),
+            speed_mps: 8.0,
+        }
+    }
+}
+
+/// Result of one congestion run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CongestionRecord {
+    /// Stations in the run.
+    pub n_stations: usize,
+    /// CAMs that made it to the air, total.
+    pub cams_transmitted: u64,
+    /// Mean per-station CAM rate, Hz.
+    pub cam_rate_hz: f64,
+    /// Mean channel busy ratio over the run.
+    pub mean_cbr: f64,
+    /// The most restrictive DCC state any station reached.
+    pub worst_dcc_state: DccState,
+}
+
+/// Runs the experiment: `n_stations` stations beacon CAMs with DCC in
+/// the loop on a shared medium.
+///
+/// # Panics
+///
+/// Panics if the configuration has no stations.
+pub fn run_congestion(config: &CongestionConfig) -> CongestionRecord {
+    assert!(config.n_stations > 0, "need at least one station");
+    let mut rng = SimRng::seed_from(config.seed);
+    let mut medium = Medium::new();
+    let mut stations: Vec<ItsStation> = (0..config.n_stations)
+        .map(|i| {
+            let clock = NodeClock::sample(&NtpModel::default(), &mut rng, 0);
+            let mut s = ItsStation::new(
+                StationConfig::obu(StationId::new(100 + i as u32).expect("static id")),
+                clock,
+            );
+            // Spread around a 100 m ring (all in radio range).
+            let angle = std::f64::consts::TAU * i as f64 / config.n_stations as f64;
+            s.set_position(Position2D::new(15.0 * angle.cos(), 15.0 * angle.sin()));
+            s
+        })
+        .collect();
+
+    let mut cams_transmitted: u64 = 0;
+    let mut busy_time_ns: u64 = 0;
+    let mut worst_state = DccState::Relaxed;
+    let mut now = SimTime::ZERO;
+    let end = SimTime::ZERO + config.duration;
+    while now < end {
+        for (i, station) in stations.iter_mut().enumerate() {
+            // Keep the station "driving" so the CA position trigger
+            // fires at the maximum rate the gatekeeper allows.
+            let angle = std::f64::consts::TAU
+                * (i as f64 / config.n_stations as f64
+                    + config.speed_mps * now.as_secs_f64() / (std::f64::consts::TAU * 15.0));
+            station.set_position(Position2D::new(15.0 * angle.cos(), 15.0 * angle.sin()));
+            station.set_motion(config.speed_mps, angle.to_degrees());
+            if let Ok(Some(packet)) = station.poll_cam(now) {
+                let bytes = packet.to_bytes();
+                let at = airtime(bytes.len(), station.config().data_rate);
+                medium.occupy(now + at);
+                busy_time_ns += at.as_nanos();
+                cams_transmitted += 1;
+            }
+        }
+        // All stations hear everything on the shared channel; feed the
+        // busy observations and advance the DCC state machines once per
+        // poll period (batched for speed).
+        let window_busy = SimDuration::from_nanos(busy_time_ns_take(&mut busy_time_ns));
+        for station in stations.iter_mut() {
+            if !window_busy.is_zero() {
+                station.observe_channel_busy(now, window_busy);
+            } else {
+                // Still roll the probe window so states can decay.
+                station.observe_channel_busy(now, SimDuration::ZERO);
+            }
+            worst_state = worst_state.max(station.dcc().state());
+        }
+        now += config.poll_period;
+    }
+
+    // Mean CBR: total airtime over the run duration.
+    let total_airtime: f64 = stations
+        .iter()
+        .map(|s| s.tx_count() as f64)
+        .sum::<f64>()
+        // CAM frames are all roughly the same size; use a representative
+        // 70-byte frame airtime.
+        * airtime(70, phy80211p::ofdm::DataRate::Mbps6).as_secs_f64();
+    let mean_cbr = (total_airtime / config.duration.as_secs_f64()).min(1.0);
+    let cam_rate_hz =
+        cams_transmitted as f64 / config.n_stations as f64 / config.duration.as_secs_f64();
+
+    CongestionRecord {
+        n_stations: config.n_stations,
+        cams_transmitted,
+        cam_rate_hz,
+        mean_cbr,
+        worst_dcc_state: worst_state,
+    }
+}
+
+/// Takes and clears the accumulated busy time.
+fn busy_time_ns_take(acc: &mut u64) -> u64 {
+    std::mem::take(acc)
+}
+
+/// Renders a station-count sweep as a table.
+pub fn sweep_station_count(base: &CongestionConfig, counts: &[usize]) -> String {
+    let mut out = String::from("stations   CAM rate (Hz/station)   mean CBR   worst DCC state\n");
+    for &n in counts {
+        let record = run_congestion(&CongestionConfig {
+            n_stations: n,
+            ..base.clone()
+        });
+        out.push_str(&format!(
+            "{n:>8}   {:>21.2}   {:>8.3}   {:?}\n",
+            record.cam_rate_hz, record.mean_cbr, record.worst_dcc_state
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_fleet_beacons_freely() {
+        let record = run_congestion(&CongestionConfig {
+            n_stations: 2,
+            ..CongestionConfig::default()
+        });
+        assert_eq!(record.worst_dcc_state, DccState::Relaxed);
+        // Driving fast on a ring: position/heading triggers put the CAM
+        // rate well above the 1 Hz floor.
+        assert!(record.cam_rate_hz > 2.0, "{}", record.cam_rate_hz);
+        // But DCC Relaxed still caps at 1/60 ms ≈ 16.7 Hz.
+        assert!(record.cam_rate_hz < 17.0, "{}", record.cam_rate_hz);
+    }
+
+    #[test]
+    fn large_fleet_gets_throttled() {
+        let small = run_congestion(&CongestionConfig {
+            n_stations: 5,
+            ..CongestionConfig::default()
+        });
+        let large = run_congestion(&CongestionConfig {
+            n_stations: 120,
+            ..CongestionConfig::default()
+        });
+        assert!(
+            large.worst_dcc_state > small.worst_dcc_state,
+            "{:?} vs {:?}",
+            large.worst_dcc_state,
+            small.worst_dcc_state
+        );
+        assert!(
+            large.cam_rate_hz < small.cam_rate_hz,
+            "per-station rate falls under congestion: {} vs {}",
+            large.cam_rate_hz,
+            small.cam_rate_hz
+        );
+    }
+
+    #[test]
+    fn total_throughput_saturates_not_explodes() {
+        let r40 = run_congestion(&CongestionConfig {
+            n_stations: 40,
+            ..CongestionConfig::default()
+        });
+        let r160 = run_congestion(&CongestionConfig {
+            n_stations: 160,
+            ..CongestionConfig::default()
+        });
+        // 4× the stations must not yield 4× the frames on the air.
+        assert!(
+            (r160.cams_transmitted as f64) < 2.5 * r40.cams_transmitted as f64,
+            "{} vs {}",
+            r160.cams_transmitted,
+            r40.cams_transmitted
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run_congestion(&CongestionConfig::default());
+        let b = run_congestion(&CongestionConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sweep_renders() {
+        let s = sweep_station_count(
+            &CongestionConfig {
+                duration: SimDuration::from_secs(5),
+                ..CongestionConfig::default()
+            },
+            &[2, 20],
+        );
+        assert!(s.contains("stations"));
+        assert_eq!(s.lines().count(), 3);
+    }
+}

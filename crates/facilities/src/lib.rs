@@ -1,0 +1,29 @@
+//! ETSI ITS Facilities layer: Cooperative Awareness, Decentralized
+//! Environmental Notification, and the Local Dynamic Map.
+//!
+//! These are the services the paper's §II-B singles out: "the Facilities
+//! Layer providing some of the most noteworthy services, namely the
+//! Cooperative Awareness (CA) and Decentralized Environmental Notification
+//! (DEN) services", both connected to the LDM, "a digital map of all
+//! dynamic objects and road details".
+//!
+//! * [`ca::CaService`] — CAM generation with the EN 302 637-2 adaptive
+//!   `T_GenCam` trigger rules (heading / position / speed deltas),
+//! * [`den::DenService`] — DENM trigger / update / terminate with
+//!   repetition and validity handling (EN 302 637-3 `AppDENM_*`),
+//! * [`ldm::Ldm`] — keyed store of CAM-tracked stations, active DENMs and
+//!   locally-perceived objects, with area queries and garbage collection.
+//!
+//! All services are passive state machines driven by `poll`-style calls
+//! from the discrete-event loop, so they compose with any scheduler.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ca;
+pub mod den;
+pub mod ldm;
+
+pub use ca::{CaService, CamTriggerConfig, StationState};
+pub use den::{DenRequest, DenService};
+pub use ldm::{Ldm, PerceivedObject};

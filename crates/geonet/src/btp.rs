@@ -1,0 +1,87 @@
+//! Basic Transport Protocol, non-interactive variant (BTP-B,
+//! ETSI EN 302 636-5-1).
+//!
+//! BTP-B is a 4-byte header carrying a destination port and destination
+//! port info. The facilities services use well-known ports: 2001 for CAM,
+//! 2002 for DENM (ETSI TS 103 248).
+
+use crate::bytesio::{ByteReader, ByteWriterExt};
+use crate::Result;
+
+/// A BTP destination port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BtpPort(pub u16);
+
+impl BtpPort {
+    /// Well-known port of the CA basic service (CAM).
+    pub const CAM: BtpPort = BtpPort(2001);
+    /// Well-known port of the DEN basic service (DENM).
+    pub const DENM: BtpPort = BtpPort(2002);
+}
+
+impl std::fmt::Display for BtpPort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            BtpPort::CAM => write!(f, "btp:2001(CAM)"),
+            BtpPort::DENM => write!(f, "btp:2002(DENM)"),
+            BtpPort(p) => write!(f, "btp:{p}"),
+        }
+    }
+}
+
+/// BTP-B header: destination port + destination port info.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BtpB {
+    /// Destination port (facility service).
+    pub destination_port: BtpPort,
+    /// Destination port info (0 when unused).
+    pub destination_port_info: u16,
+}
+
+impl BtpB {
+    /// Wire size in bytes.
+    pub const WIRE_SIZE: usize = 4;
+
+    /// Creates a BTP-B header for the given facility port.
+    pub fn new(destination_port: BtpPort) -> Self {
+        Self {
+            destination_port,
+            destination_port_info: 0,
+        }
+    }
+
+    pub(crate) fn write(&self, out: &mut Vec<u8>) {
+        out.put_u16(self.destination_port.0);
+        out.put_u16(self.destination_port_info);
+    }
+
+    pub(crate) fn read(r: &mut ByteReader<'_>) -> Result<Self> {
+        Ok(Self {
+            destination_port: BtpPort(r.u16()?),
+            destination_port_info: r.u16()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_known_ports() {
+        assert_eq!(BtpPort::CAM.0, 2001);
+        assert_eq!(BtpPort::DENM.0, 2002);
+        assert_eq!(BtpPort::CAM.to_string(), "btp:2001(CAM)");
+        assert_eq!(BtpPort(1500).to_string(), "btp:1500");
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = BtpB::new(BtpPort::DENM);
+        let mut out = Vec::new();
+        h.write(&mut out);
+        assert_eq!(out.len(), BtpB::WIRE_SIZE);
+        let mut r = ByteReader::new(&out);
+        assert_eq!(BtpB::read(&mut r).unwrap(), h);
+    }
+}

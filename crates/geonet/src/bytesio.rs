@@ -1,0 +1,130 @@
+//! Minimal big-endian byte reader used by the header parsers.
+
+use crate::error::GeonetError;
+use crate::Result;
+
+/// Sequential big-endian reader over a byte slice.
+#[derive(Debug)]
+pub(crate) struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(GeonetError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u16(&mut self) -> Result<u16> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub(crate) fn i32(&mut self) -> Result<i32> {
+        Ok(self.u32()? as i32)
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    pub(crate) fn rest(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        s
+    }
+}
+
+/// Big-endian writer helpers over a `Vec<u8>`.
+pub(crate) trait ByteWriterExt {
+    fn put_u8(&mut self, v: u8);
+    fn put_u16(&mut self, v: u16);
+    fn put_u32(&mut self, v: u32);
+    fn put_i32(&mut self, v: i32);
+    fn put_u64(&mut self, v: u64);
+}
+
+impl ByteWriterExt for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_i32(&mut self, v: i32) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut v = Vec::new();
+        v.put_u8(0xAB);
+        v.put_u16(0x1234);
+        v.put_u32(0xDEAD_BEEF);
+        v.put_i32(-5);
+        v.put_u64(0x0102_0304_0506_0708);
+        let mut r = ByteReader::new(&v);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert_eq!(r.u16().unwrap(), 0x1234);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.i32().unwrap(), -5);
+        assert_eq!(r.u64().unwrap(), 0x0102_0304_0506_0708);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let v = [0u8; 3];
+        let mut r = ByteReader::new(&v);
+        assert!(r.u32().is_err());
+        // Failed read consumes nothing.
+        assert_eq!(r.remaining(), 3);
+        assert!(r.u16().is_ok());
+    }
+
+    #[test]
+    fn rest_drains() {
+        let v = [1u8, 2, 3];
+        let mut r = ByteReader::new(&v);
+        r.u8().unwrap();
+        assert_eq!(r.rest(), &[2, 3]);
+        assert_eq!(r.remaining(), 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for GeoNetworking packet processing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when assembling or parsing GeoNetworking packets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GeonetError {
+    /// The byte buffer ended before the structure was complete.
+    Truncated {
+        /// Bytes needed by the failed read.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// An unknown GeoNetworking header type byte.
+    UnknownHeaderType(u8),
+    /// An unknown next-header discriminant.
+    UnknownNextHeader(u8),
+    /// The protocol version byte did not match.
+    BadVersion(u8),
+    /// The declared payload length disagrees with the buffer.
+    PayloadLengthMismatch {
+        /// Length declared in the common header.
+        declared: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+    /// A field value is not representable on the wire.
+    FieldOutOfRange(&'static str),
+}
+
+impl fmt::Display for GeonetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeonetError::Truncated { needed, remaining } => write!(
+                f,
+                "truncated packet: needed {needed} bytes, {remaining} remaining"
+            ),
+            GeonetError::UnknownHeaderType(t) => write!(f, "unknown geonet header type {t:#x}"),
+            GeonetError::UnknownNextHeader(n) => write!(f, "unknown next-header value {n}"),
+            GeonetError::BadVersion(v) => write!(f, "unsupported geonetworking version {v}"),
+            GeonetError::PayloadLengthMismatch { declared, actual } => write!(
+                f,
+                "payload length mismatch: header declares {declared}, buffer holds {actual}"
+            ),
+            GeonetError::FieldOutOfRange(field) => {
+                write!(f, "field {field} outside its wire range")
+            }
+        }
+    }
+}
+
+impl Error for GeonetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync_and_displays() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GeonetError>();
+        let e = GeonetError::Truncated {
+            needed: 8,
+            remaining: 3,
+        };
+        assert!(e.to_string().contains("8"));
+    }
+}

@@ -1,0 +1,157 @@
+//! GeoBroadcast forwarding (EN 302 636-4-1 Annex E, simple scheme).
+//!
+//! A DENM addressed to a destination area may need more than one hop to
+//! cover it (the paper's §V platoon extension forwards DENMs down the
+//! platoon). This module implements the *simple* GBC forwarding
+//! algorithm: a router inside the destination area re-broadcasts the
+//! packet (area flooding), decrementing the remaining hop limit;
+//! duplicate suppression is the [`crate::loctable::LocationTable`]'s
+//! job. Routers outside the area discard (we do not implement line
+//! forwarding — the testbed never needs to route *toward* a remote
+//! area).
+
+use crate::headers::{ExtendedHeader, GnPacket};
+
+/// Why a packet was not forwarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiscardReason {
+    /// Only GeoBroadcast packets are forwarded.
+    NotGeoBroadcast,
+    /// The remaining hop limit is exhausted.
+    HopLimitExhausted,
+    /// This router is outside the destination area (no line
+    /// forwarding in the simple scheme).
+    OutsideDestinationArea,
+}
+
+/// The forwarding decision for a received packet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ForwardDecision {
+    /// Re-broadcast this rebuilt packet (hop limit already decremented).
+    Rebroadcast(GnPacket),
+    /// Do not forward.
+    Discard(DiscardReason),
+}
+
+/// Decides whether a router at `(lat_deg, lon_deg)` should re-broadcast
+/// a received packet.
+///
+/// # Example
+///
+/// ```
+/// use geonet::btp::BtpPort;
+/// use geonet::forwarding::{gbc_forward_decision, ForwardDecision};
+/// use geonet::headers::TrafficClass;
+/// use geonet::{GeoArea, GnAddress, GnPacket, LongPositionVector};
+///
+/// let source = LongPositionVector::new(GnAddress::new(1), 0, 41.178, -8.608, 0.0, 0.0);
+/// let area = GeoArea::circle(41.178, -8.608, 100.0);
+/// let packet = GnPacket::geo_broadcast(
+///     source, 1, area, TrafficClass::dp0(), BtpPort::DENM, vec![0; 16]);
+/// // A router inside the area forwards with one less hop.
+/// match gbc_forward_decision(&packet, 41.178, -8.608) {
+///     ForwardDecision::Rebroadcast(p) => {
+///         assert_eq!(p.basic.remaining_hop_limit,
+///                    packet.basic.remaining_hop_limit - 1);
+///     }
+///     other => panic!("expected rebroadcast, got {other:?}"),
+/// }
+/// ```
+pub fn gbc_forward_decision(packet: &GnPacket, lat_deg: f64, lon_deg: f64) -> ForwardDecision {
+    let gbc = match &packet.extended {
+        ExtendedHeader::GeoBroadcast(gbc) => gbc,
+        ExtendedHeader::SingleHop(_) => {
+            return ForwardDecision::Discard(DiscardReason::NotGeoBroadcast)
+        }
+    };
+    if packet.basic.remaining_hop_limit <= 1 {
+        return ForwardDecision::Discard(DiscardReason::HopLimitExhausted);
+    }
+    if !gbc.area.contains(lat_deg, lon_deg) {
+        return ForwardDecision::Discard(DiscardReason::OutsideDestinationArea);
+    }
+    let mut forwarded = packet.clone();
+    forwarded.basic.remaining_hop_limit -= 1;
+    ForwardDecision::Rebroadcast(forwarded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::btp::BtpPort;
+    use crate::headers::TrafficClass;
+    use crate::{GeoArea, GnAddress, GnPacket, LongPositionVector};
+
+    fn gbc_packet() -> GnPacket {
+        let source = LongPositionVector::new(GnAddress::new(1), 0, 41.178, -8.608, 0.0, 0.0);
+        let area = GeoArea::circle(41.178, -8.608, 100.0);
+        GnPacket::geo_broadcast(
+            source,
+            1,
+            area,
+            TrafficClass::dp0(),
+            BtpPort::DENM,
+            vec![0; 8],
+        )
+    }
+
+    #[test]
+    fn forwards_inside_area_with_decremented_hop_limit() {
+        let p = gbc_packet();
+        match gbc_forward_decision(&p, 41.178, -8.608) {
+            ForwardDecision::Rebroadcast(f) => {
+                assert_eq!(f.basic.remaining_hop_limit, p.basic.remaining_hop_limit - 1);
+                assert_eq!(f.payload, p.payload);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn discards_outside_area() {
+        let p = gbc_packet();
+        assert_eq!(
+            gbc_forward_decision(&p, 42.0, -8.608),
+            ForwardDecision::Discard(DiscardReason::OutsideDestinationArea)
+        );
+    }
+
+    #[test]
+    fn discards_when_hop_limit_exhausted() {
+        let mut p = gbc_packet();
+        p.basic.remaining_hop_limit = 1;
+        assert_eq!(
+            gbc_forward_decision(&p, 41.178, -8.608),
+            ForwardDecision::Discard(DiscardReason::HopLimitExhausted)
+        );
+    }
+
+    #[test]
+    fn shb_never_forwarded() {
+        let source = LongPositionVector::new(GnAddress::new(1), 0, 41.178, -8.608, 0.0, 0.0);
+        let p = GnPacket::single_hop(source, TrafficClass::dp2(), BtpPort::CAM, vec![]);
+        assert_eq!(
+            gbc_forward_decision(&p, 41.178, -8.608),
+            ForwardDecision::Discard(DiscardReason::NotGeoBroadcast)
+        );
+    }
+
+    #[test]
+    fn chain_of_forwards_dies_at_hop_limit() {
+        let mut p = gbc_packet();
+        let mut hops = 0;
+        loop {
+            match gbc_forward_decision(&p, 41.178, -8.608) {
+                ForwardDecision::Rebroadcast(f) => {
+                    p = f;
+                    hops += 1;
+                    assert!(hops < 50, "runaway forwarding");
+                }
+                ForwardDecision::Discard(DiscardReason::HopLimitExhausted) => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Initial RHL is 10: nine forwards then exhaustion.
+        assert_eq!(hops, 9);
+    }
+}

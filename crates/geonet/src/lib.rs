@@ -1,0 +1,69 @@
+//! GeoNetworking (ETSI EN 302 636-4-1) and BTP (EN 302 636-5-1) — the
+//! Networking & Transport layer of the ETSI ITS stack.
+//!
+//! In the testbed, every CAM and DENM leaving an OpenC2X station is wrapped
+//! in a Basic Transport Protocol header and a GeoNetworking header before
+//! reaching the 802.11p access layer. This crate implements the subset the
+//! paper's use-case exercises:
+//!
+//! * [`LongPositionVector`] — the sender's geo-stamped address,
+//! * [`GeoArea`] — circular / rectangular destination areas with the
+//!   standard point-inside test (EN 302 931),
+//! * [`headers::SingleHopBroadcast`] (SHB) — used for CAMs,
+//! * [`headers::GeoBroadcast`] (GBC) — used for DENMs addressed to a
+//!   relevance area,
+//! * [`btp::BtpB`] — non-interactive transport with the well-known ports
+//!   (2001 = CAM, 2002 = DENM),
+//! * [`GnPacket`] — assembly/parse of a full
+//!   `BasicHeader | CommonHeader | Extended | BTP-B | payload` packet to
+//!   wire bytes.
+//!
+//! GeoNetworking headers are octet-aligned (unlike the UPER facilities
+//! payloads), so this crate serialises them with plain big-endian byte
+//! writing.
+//!
+//! # Example
+//!
+//! ```
+//! use geonet::{GnAddress, GnPacket, GeoArea, LongPositionVector};
+//! use geonet::btp::BtpPort;
+//! use geonet::headers::{ExtendedHeader, TrafficClass};
+//!
+//! # fn main() -> Result<(), geonet::GeonetError> {
+//! let source = LongPositionVector::new(
+//!     GnAddress::new(0x1234),
+//!     5_000,                       // timestamp ms
+//!     41.178, -8.608,              // degrees
+//!     1.5, 90.0,                   // m/s, degrees
+//! );
+//! let area = GeoArea::circle(41.178, -8.608, 100.0);
+//! let packet = GnPacket::geo_broadcast(
+//!     source, 1, area, TrafficClass::dp0(), BtpPort::DENM, vec![0xAB; 24],
+//! );
+//! let bytes = packet.to_bytes();
+//! let back = GnPacket::from_bytes(&bytes)?;
+//! assert_eq!(packet, back);
+//! assert!(matches!(back.extended, ExtendedHeader::GeoBroadcast(_)));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod btp;
+mod bytesio;
+mod error;
+pub mod forwarding;
+pub mod headers;
+pub mod loctable;
+mod position;
+
+pub use area::GeoArea;
+pub use error::GeonetError;
+pub use headers::GnPacket;
+pub use position::{GnAddress, LongPositionVector};
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, GeonetError>;

@@ -1,0 +1,131 @@
+//! `ItsPduHeader` — the common header at the front of every CAM and DENM
+//! (Figure 2 of the paper: protocol version, message type, station ID).
+
+use crate::common::StationId;
+use crate::enum_err;
+use uper::{BitReader, BitWriter, Codec};
+
+/// Protocol version carried in every PDU header (EN 302 637 family v1.x).
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// `messageID` values of the facilities messages used by the testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageId {
+    /// DENM — messageID 1.
+    Denm,
+    /// CAM — messageID 2.
+    Cam,
+}
+
+impl MessageId {
+    /// Wire value per EN 302 637.
+    pub fn code(&self) -> u8 {
+        match self {
+            MessageId::Denm => 1,
+            MessageId::Cam => 2,
+        }
+    }
+
+    /// Maps a wire code to a message id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`uper::UperError::InvalidEnum`] for codes other than 1 or 2.
+    pub fn from_code(code: u8) -> uper::Result<Self> {
+        match code {
+            1 => Ok(MessageId::Denm),
+            2 => Ok(MessageId::Cam),
+            other => Err(enum_err(u64::from(other), "MessageId")),
+        }
+    }
+}
+
+/// The common ITS PDU header.
+///
+/// # Example
+///
+/// ```
+/// use its_messages::{ItsPduHeader, MessageId};
+/// use its_messages::common::StationId;
+///
+/// # fn main() -> Result<(), uper::UperError> {
+/// let h = ItsPduHeader::new(MessageId::Denm, StationId::new(7)?);
+/// let bytes = uper::encode(&h)?;
+/// let back: ItsPduHeader = uper::decode(&bytes)?;
+/// assert_eq!(h, back);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ItsPduHeader {
+    /// Protocol version (always [`PROTOCOL_VERSION`] when built here).
+    pub protocol_version: u8,
+    /// Which facilities message follows.
+    pub message_id: MessageId,
+    /// Station that generated the message.
+    pub station_id: StationId,
+}
+
+impl ItsPduHeader {
+    /// Creates a header at the current protocol version.
+    pub fn new(message_id: MessageId, station_id: StationId) -> Self {
+        Self {
+            protocol_version: PROTOCOL_VERSION,
+            message_id,
+            station_id,
+        }
+    }
+}
+
+impl Codec for ItsPduHeader {
+    fn encode(&self, w: &mut BitWriter) -> uper::Result<()> {
+        w.write_constrained_u64(u64::from(self.protocol_version), 0, 255)?;
+        w.write_constrained_u64(u64::from(self.message_id.code()), 0, 255)?;
+        self.station_id.encode(w)
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> uper::Result<Self> {
+        let protocol_version = r.read_constrained_u64(0, 255)? as u8;
+        let message_id = MessageId::from_code(r.read_constrained_u64(0, 255)? as u8)?;
+        let station_id = StationId::decode(r)?;
+        Ok(Self {
+            protocol_version,
+            message_id,
+            station_id,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_id_codes() {
+        assert_eq!(MessageId::Denm.code(), 1);
+        assert_eq!(MessageId::Cam.code(), 2);
+        assert_eq!(MessageId::from_code(1).unwrap(), MessageId::Denm);
+        assert!(MessageId::from_code(3).is_err());
+    }
+
+    #[test]
+    fn header_roundtrip_and_size() {
+        let h = ItsPduHeader::new(MessageId::Cam, StationId::new(0xDEADBEEF).unwrap());
+        let bytes = uper::encode(&h).unwrap();
+        // 8 + 8 + 32 bits = 6 bytes
+        assert_eq!(bytes.len(), 6);
+        let back: ItsPduHeader = uper::decode(&bytes).unwrap();
+        assert_eq!(h, back);
+        assert_eq!(back.protocol_version, PROTOCOL_VERSION);
+    }
+
+    #[test]
+    fn header_rejects_unknown_message_id() {
+        let mut w = uper::BitWriter::new();
+        w.write_constrained_u64(1, 0, 255).unwrap(); // version
+        w.write_constrained_u64(99, 0, 255).unwrap(); // bogus messageID
+        w.write_constrained_u64(0, 0, u32::MAX as u64).unwrap();
+        let bytes = w.finish();
+        assert!(uper::decode::<ItsPduHeader>(&bytes).is_err());
+    }
+}

@@ -1,0 +1,313 @@
+//! EDCA medium access for OCB (outside-the-context-of-a-BSS) operation.
+//!
+//! ITS-G5 stations contend with EDCA: each access category waits AIFS
+//! (= SIFS + AIFSN · slot) of idle medium and then, if the medium was busy
+//! when the frame arrived, a random backoff drawn from the contention
+//! window. Broadcast frames are sent exactly once — no ACK, no
+//! retransmission — so the only stochastic component of the access delay
+//! is the backoff.
+//!
+//! Timing set for 10 MHz channels: slot 13 µs, SIFS 32 µs.
+
+use sim_core::{SimDuration, SimRng, SimTime};
+
+/// Slot time at 10 MHz.
+pub const SLOT_US: u64 = 13;
+/// SIFS at 10 MHz.
+pub const SIFS_US: u64 = 32;
+
+/// The four EDCA access categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AccessCategory {
+    /// Voice — highest priority; DENMs (DCC profile DP0) map here.
+    Voice,
+    /// Video — CAMs (DP2) map here.
+    Video,
+    /// Best effort.
+    BestEffort,
+    /// Background — lowest priority.
+    Background,
+}
+
+impl AccessCategory {
+    /// All categories, highest priority first.
+    pub const ALL: [AccessCategory; 4] = [
+        AccessCategory::Voice,
+        AccessCategory::Video,
+        AccessCategory::BestEffort,
+        AccessCategory::Background,
+    ];
+
+    /// Maps a GeoNetworking DCC profile id to an access category
+    /// (DP0→AC_VO, DP1→AC_VI, DP2→AC_BE is the textbook mapping, but
+    /// OpenC2X maps CAM/DP2 to AC_VI; we follow the ETSI EN 302 663
+    /// table: DP0→VO, DP1/DP2→VI, DP3→BE, else BK).
+    pub fn from_dcc_profile(dp: u8) -> Self {
+        match dp {
+            0 => AccessCategory::Voice,
+            1 | 2 => AccessCategory::Video,
+            3 => AccessCategory::BestEffort,
+            _ => AccessCategory::Background,
+        }
+    }
+}
+
+/// EDCA parameter set for one access category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdcaParams {
+    /// AIFSN — number of slots after SIFS.
+    pub aifsn: u8,
+    /// Minimum contention window (slots − 1).
+    pub cw_min: u16,
+    /// Maximum contention window (slots − 1). Unused for broadcast (no
+    /// retries) but kept for completeness.
+    pub cw_max: u16,
+}
+
+impl EdcaParams {
+    /// Default OCB parameters for an access category (EN 302 663 Table 2,
+    /// derived from aCWmin = 15).
+    pub fn for_category(ac: AccessCategory) -> Self {
+        match ac {
+            AccessCategory::Voice => EdcaParams {
+                aifsn: 2,
+                cw_min: 3,
+                cw_max: 7,
+            },
+            AccessCategory::Video => EdcaParams {
+                aifsn: 3,
+                cw_min: 7,
+                cw_max: 15,
+            },
+            AccessCategory::BestEffort => EdcaParams {
+                aifsn: 6,
+                cw_min: 15,
+                cw_max: 1023,
+            },
+            AccessCategory::Background => EdcaParams {
+                aifsn: 9,
+                cw_min: 15,
+                cw_max: 1023,
+            },
+        }
+    }
+
+    /// AIFS duration: SIFS + AIFSN · slot.
+    pub fn aifs(&self) -> SimDuration {
+        SimDuration::from_micros(SIFS_US + u64::from(self.aifsn) * SLOT_US)
+    }
+}
+
+/// Shared-medium busy tracker.
+///
+/// All stations hear the same laboratory-scale channel, so a single busy
+/// interval suffices; the testbed updates it on every transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Medium {
+    busy_until: SimTime,
+}
+
+impl Medium {
+    /// Creates an idle medium.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the medium is busy at `now`.
+    pub fn is_busy(&self, now: SimTime) -> bool {
+        now < self.busy_until
+    }
+
+    /// The instant the medium becomes idle (never before `now`).
+    pub fn idle_at(&self, now: SimTime) -> SimTime {
+        self.busy_until.max(now)
+    }
+
+    /// Marks the medium busy until `until` (keeps the later of the two).
+    pub fn occupy(&mut self, until: SimTime) {
+        self.busy_until = self.busy_until.max(until);
+    }
+}
+
+/// EDCA channel access for a single station.
+///
+/// # Example
+///
+/// ```
+/// use phy80211p::edca::{AccessCategory, EdcaMac, Medium};
+/// use sim_core::{SimRng, SimTime};
+///
+/// let mac = EdcaMac::new();
+/// let medium = Medium::new();
+/// let mut rng = SimRng::seed_from(1);
+/// let start = mac.access_time(
+///     SimTime::ZERO, AccessCategory::Voice, &medium, &mut rng);
+/// // Idle medium: transmission starts after exactly AIFS(AC_VO) = 58 µs.
+/// assert_eq!(start.as_micros(), 32 + 2 * 13);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EdcaMac {
+    /// Optional override of the per-category parameters.
+    overrides: Vec<(AccessCategory, EdcaParams)>,
+}
+
+impl EdcaMac {
+    /// Creates a MAC with the default OCB parameter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the parameters of one category.
+    pub fn with_params(mut self, ac: AccessCategory, params: EdcaParams) -> Self {
+        self.overrides.retain(|(c, _)| *c != ac);
+        self.overrides.push((ac, params));
+        self
+    }
+
+    /// Parameters in effect for `ac`.
+    pub fn params(&self, ac: AccessCategory) -> EdcaParams {
+        self.overrides
+            .iter()
+            .find(|(c, _)| *c == ac)
+            .map(|(_, p)| *p)
+            .unwrap_or_else(|| EdcaParams::for_category(ac))
+    }
+
+    /// The instant transmission may start for a frame that becomes ready
+    /// at `now`:
+    ///
+    /// * medium idle and stays idle through AIFS → `now + AIFS`
+    ///   (no backoff, per 802.11 when the medium is idle on arrival);
+    /// * medium busy → idle instant + AIFS + random backoff in
+    ///   `[0, CWmin]` slots.
+    pub fn access_time(
+        &self,
+        now: SimTime,
+        ac: AccessCategory,
+        medium: &Medium,
+        rng: &mut SimRng,
+    ) -> SimTime {
+        let params = self.params(ac);
+        if !medium.is_busy(now) {
+            now + params.aifs()
+        } else {
+            let idle = medium.idle_at(now);
+            let backoff_slots = rng.below(u64::from(params.cw_min) + 1);
+            idle + params.aifs() + SimDuration::from_micros(backoff_slots * SLOT_US)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_table_matches_en302663() {
+        let vo = EdcaParams::for_category(AccessCategory::Voice);
+        assert_eq!((vo.aifsn, vo.cw_min, vo.cw_max), (2, 3, 7));
+        let vi = EdcaParams::for_category(AccessCategory::Video);
+        assert_eq!((vi.aifsn, vi.cw_min, vi.cw_max), (3, 7, 15));
+        let be = EdcaParams::for_category(AccessCategory::BestEffort);
+        assert_eq!((be.aifsn, be.cw_min, be.cw_max), (6, 15, 1023));
+        let bk = EdcaParams::for_category(AccessCategory::Background);
+        assert_eq!((bk.aifsn, bk.cw_min, bk.cw_max), (9, 15, 1023));
+    }
+
+    #[test]
+    fn aifs_values() {
+        assert_eq!(
+            EdcaParams::for_category(AccessCategory::Voice)
+                .aifs()
+                .as_micros(),
+            58
+        );
+        assert_eq!(
+            EdcaParams::for_category(AccessCategory::Video)
+                .aifs()
+                .as_micros(),
+            71
+        );
+    }
+
+    #[test]
+    fn dcc_profile_mapping() {
+        assert_eq!(AccessCategory::from_dcc_profile(0), AccessCategory::Voice);
+        assert_eq!(AccessCategory::from_dcc_profile(1), AccessCategory::Video);
+        assert_eq!(AccessCategory::from_dcc_profile(2), AccessCategory::Video);
+        assert_eq!(
+            AccessCategory::from_dcc_profile(3),
+            AccessCategory::BestEffort
+        );
+        assert_eq!(
+            AccessCategory::from_dcc_profile(7),
+            AccessCategory::Background
+        );
+    }
+
+    #[test]
+    fn idle_medium_no_backoff() {
+        let mac = EdcaMac::new();
+        let medium = Medium::new();
+        let mut rng = SimRng::seed_from(1);
+        let t0 = SimTime::from_millis(100);
+        let start = mac.access_time(t0, AccessCategory::Voice, &medium, &mut rng);
+        assert_eq!((start - t0).as_micros(), 58);
+    }
+
+    #[test]
+    fn busy_medium_defers_and_backs_off() {
+        let mac = EdcaMac::new();
+        let mut medium = Medium::new();
+        medium.occupy(SimTime::from_micros(500));
+        let mut rng = SimRng::seed_from(2);
+        let mut seen_nonzero_backoff = false;
+        for _ in 0..50 {
+            let start = mac.access_time(SimTime::ZERO, AccessCategory::Voice, &medium, &mut rng);
+            let delay_after_idle = start.as_micros() - 500;
+            // AIFS + backoff in {0..3} slots.
+            assert!(delay_after_idle >= 58);
+            assert!(delay_after_idle <= 58 + 3 * 13);
+            assert_eq!((delay_after_idle - 58) % 13, 0);
+            if delay_after_idle > 58 {
+                seen_nonzero_backoff = true;
+            }
+        }
+        assert!(seen_nonzero_backoff);
+    }
+
+    #[test]
+    fn higher_priority_accesses_sooner_on_idle() {
+        let mac = EdcaMac::new();
+        let medium = Medium::new();
+        let mut rng = SimRng::seed_from(3);
+        let vo = mac.access_time(SimTime::ZERO, AccessCategory::Voice, &medium, &mut rng);
+        let bk = mac.access_time(SimTime::ZERO, AccessCategory::Background, &medium, &mut rng);
+        assert!(vo < bk);
+    }
+
+    #[test]
+    fn medium_occupy_keeps_latest() {
+        let mut m = Medium::new();
+        m.occupy(SimTime::from_micros(100));
+        m.occupy(SimTime::from_micros(50));
+        assert_eq!(m.idle_at(SimTime::ZERO), SimTime::from_micros(100));
+        assert!(m.is_busy(SimTime::from_micros(99)));
+        assert!(!m.is_busy(SimTime::from_micros(100)));
+    }
+
+    #[test]
+    fn params_override() {
+        let mac = EdcaMac::new().with_params(
+            AccessCategory::Voice,
+            EdcaParams {
+                aifsn: 1,
+                cw_min: 0,
+                cw_max: 0,
+            },
+        );
+        assert_eq!(mac.params(AccessCategory::Voice).aifsn, 1);
+        // Other categories unaffected.
+        assert_eq!(mac.params(AccessCategory::Video).aifsn, 3);
+    }
+}

@@ -1,0 +1,267 @@
+//! The discrete-event scheduler.
+//!
+//! Events are opaque to the engine; the consumer supplies the event type
+//! and an [`EventHandler`] that reacts to each event and may schedule
+//! follow-ups. Events at the same instant are delivered in FIFO order of
+//! scheduling (a stable tie-break), which is what makes traces repeatable.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A pending event: ordered by time, then by insertion sequence.
+#[derive(Debug)]
+struct Pending<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Pending<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Pending<E> {}
+impl<E> PartialOrd for Pending<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Pending<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Min-heap event queue with stable same-instant ordering.
+///
+/// See the crate-level example for end-to-end usage.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Pending<E>>>,
+    seq: u64,
+    now: SimTime,
+    dispatched: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue positioned at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            dispatched: 0,
+        }
+    }
+
+    /// Current simulation time (the timestamp of the last dispatched
+    /// event, or zero before the first).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events dispatched so far.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedules `event` at the absolute instant `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is before the queue's current time — scheduling
+    /// into the past is always a logic error.
+    pub fn schedule_at(&mut self, time: SimTime, event: E) {
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past ({} < {})",
+            time,
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Pending { time, seq, event }));
+    }
+
+    /// Schedules `event` at `base + delay`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base + delay` is before the queue's current time.
+    pub fn schedule_after(&mut self, base: SimTime, delay: SimDuration, event: E) {
+        self.schedule_at(base + delay, event);
+    }
+
+    /// Pops the next event if one exists at or before `until`.
+    fn pop_next(&mut self, until: SimTime) -> Option<(SimTime, E)> {
+        if let Some(Reverse(head)) = self.heap.peek() {
+            if head.time > until {
+                return None;
+            }
+        }
+        self.heap.pop().map(|Reverse(p)| {
+            self.now = p.time;
+            self.dispatched += 1;
+            (p.time, p.event)
+        })
+    }
+}
+
+/// Consumer of dispatched events.
+pub trait EventHandler {
+    /// The event type flowing through the queue.
+    type Event;
+
+    /// Reacts to one event; may schedule follow-up events on `queue`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+}
+
+/// Runs the simulation until the queue is empty or the next event is after
+/// `until`. Returns the time of the last dispatched event (or the queue's
+/// prior time if nothing ran).
+pub fn run<H: EventHandler>(
+    handler: &mut H,
+    queue: &mut EventQueue<H::Event>,
+    until: SimTime,
+) -> SimTime {
+    while let Some((now, event)) = queue.pop_next(until) {
+        handler.handle(now, event, queue);
+    }
+    queue.now()
+}
+
+/// Runs the simulation until no events remain, with a safety cap on the
+/// number of dispatches to catch runaway self-scheduling loops.
+///
+/// # Panics
+///
+/// Panics if more than `max_events` events are dispatched.
+pub fn run_until_idle<H: EventHandler>(
+    handler: &mut H,
+    queue: &mut EventQueue<H::Event>,
+    max_events: u64,
+) -> SimTime {
+    let start = queue.dispatched();
+    while let Some((now, event)) = queue.pop_next(SimTime::MAX) {
+        handler.handle(now, event, queue);
+        assert!(
+            queue.dispatched() - start <= max_events,
+            "event budget exhausted: {} events dispatched",
+            max_events
+        );
+    }
+    queue.now()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Recorder {
+        seen: Vec<(u64, &'static str)>,
+    }
+
+    impl EventHandler for Recorder {
+        type Event = &'static str;
+        fn handle(&mut self, now: SimTime, event: &'static str, _q: &mut EventQueue<&'static str>) {
+            self.seen.push((now.as_millis(), event));
+        }
+    }
+
+    #[test]
+    fn events_dispatch_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(30), "c");
+        q.schedule_at(SimTime::from_millis(10), "a");
+        q.schedule_at(SimTime::from_millis(20), "b");
+        let mut r = Recorder::default();
+        run(&mut r, &mut q, SimTime::MAX);
+        assert_eq!(r.seen, vec![(10, "a"), (20, "b"), (30, "c")]);
+    }
+
+    #[test]
+    fn same_instant_is_fifo() {
+        let mut q = EventQueue::new();
+        for name in ["first", "second", "third"] {
+            q.schedule_at(SimTime::from_millis(5), name);
+        }
+        let mut r = Recorder::default();
+        run(&mut r, &mut q, SimTime::MAX);
+        assert_eq!(r.seen, vec![(5, "first"), (5, "second"), (5, "third")]);
+    }
+
+    #[test]
+    fn run_respects_until_bound() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(10), "in");
+        q.schedule_at(SimTime::from_millis(100), "out");
+        let mut r = Recorder::default();
+        run(&mut r, &mut q, SimTime::from_millis(50));
+        assert_eq!(r.seen, vec![(10, "in")]);
+        assert_eq!(q.pending(), 1);
+        // Resume later.
+        run(&mut r, &mut q, SimTime::MAX);
+        assert_eq!(r.seen.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(10), "a");
+        let mut r = Recorder::default();
+        run(&mut r, &mut q, SimTime::MAX);
+        q.schedule_at(SimTime::from_millis(5), "b");
+    }
+
+    struct SelfScheduler;
+    impl EventHandler for SelfScheduler {
+        type Event = ();
+        fn handle(&mut self, now: SimTime, _e: (), q: &mut EventQueue<()>) {
+            q.schedule_after(now, SimDuration::from_millis(1), ());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "event budget exhausted")]
+    fn runaway_loop_is_caught() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::ZERO, ());
+        run_until_idle(&mut SelfScheduler, &mut q, 1000);
+    }
+
+    #[test]
+    fn handler_scheduled_followups_run() {
+        struct Chain(u32);
+        impl EventHandler for Chain {
+            type Event = u32;
+            fn handle(&mut self, now: SimTime, ev: u32, q: &mut EventQueue<u32>) {
+                self.0 = ev;
+                if ev < 5 {
+                    q.schedule_after(now, SimDuration::from_millis(1), ev + 1);
+                }
+            }
+        }
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::ZERO, 1);
+        let mut c = Chain(0);
+        let end = run(&mut c, &mut q, SimTime::MAX);
+        assert_eq!(c.0, 5);
+        assert_eq!(end, SimTime::from_millis(4));
+        assert_eq!(q.dispatched(), 5);
+    }
+}

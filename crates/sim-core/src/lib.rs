@@ -1,0 +1,58 @@
+//! Deterministic discrete-event simulation (DES) substrate.
+//!
+//! The paper's testbed is physical hardware: four hosts (edge node, RSU,
+//! OBU, vehicle ECU) synchronised over NTP, a radio channel, a camera and a
+//! moving vehicle. This crate replaces the physical clock and concurrency
+//! with a deterministic event queue so that the *same code paths* (message
+//! encoding, MAC access, polling loops, control laws) run in a controlled,
+//! reproducible timeline:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution simulated time,
+//! * [`EventQueue`] / [`run`] — a classic min-heap event scheduler with a
+//!   stable FIFO tie-break for events at the same instant,
+//! * [`SimRng`] — a seedable, forkable random source (xoshiro256++), so
+//!   every run is reproducible from a single `u64` seed,
+//! * [`NodeClock`] — a per-host wall clock with NTP-style offset and drift,
+//!   producing the millisecond-quantised timestamps the paper logs,
+//! * [`Trace`] — an event trace with a stable digest, used by the
+//!   determinism tests.
+//!
+//! # Example
+//!
+//! ```
+//! use sim_core::{EventQueue, SimDuration, SimTime, run, EventHandler};
+//!
+//! struct Counter(u32);
+//! impl EventHandler for Counter {
+//!     type Event = &'static str;
+//!     fn handle(&mut self, now: SimTime, _ev: &'static str,
+//!               q: &mut EventQueue<&'static str>) {
+//!         self.0 += 1;
+//!         if self.0 < 3 {
+//!             q.schedule_after(now, SimDuration::from_millis(10), "tick");
+//!         }
+//!     }
+//! }
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule_at(SimTime::ZERO, "tick");
+//! let mut c = Counter(0);
+//! let end = run(&mut c, &mut q, SimTime::from_secs(1));
+//! assert_eq!(c.0, 3);
+//! assert_eq!(end, SimTime::from_millis(20));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod engine;
+mod rng;
+mod time;
+mod trace;
+
+pub use clock::{NodeClock, NtpModel};
+pub use engine::{run, run_until_idle, EventHandler, EventQueue};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};
+pub use trace::{Trace, TraceEvent};

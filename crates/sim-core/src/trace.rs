@@ -1,0 +1,194 @@
+//! Event tracing with a stable digest.
+//!
+//! Experiments record what happened and when (DENM sent, DENM received,
+//! actuator command, vehicle halted). [`Trace`] collects these records and
+//! computes an FNV-based digest over the full sequence, which the
+//! determinism integration test uses to assert that two runs with the same
+//! seed are byte-identical.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// One record in a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulation instant of the event.
+    pub time: SimTime,
+    /// Node that produced it (e.g. `"rsu"`, `"obu"`, `"vehicle"`).
+    pub node: String,
+    /// Short machine-readable kind (e.g. `"denm_tx"`).
+    pub kind: String,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} {}: {}",
+            self.time, self.node, self.kind, self.detail
+        )
+    }
+}
+
+/// An append-only event trace.
+///
+/// # Example
+///
+/// ```
+/// use sim_core::{SimTime, Trace};
+///
+/// let mut t = Trace::new();
+/// t.record(SimTime::from_millis(3), "rsu", "denm_tx", "seq=1");
+/// assert_eq!(t.len(), 1);
+/// let d1 = t.digest();
+/// t.record(SimTime::from_millis(4), "obu", "denm_rx", "seq=1");
+/// assert_ne!(t.digest(), d1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record.
+    pub fn record(
+        &mut self,
+        time: SimTime,
+        node: impl Into<String>,
+        kind: impl Into<String>,
+        detail: impl Into<String>,
+    ) {
+        self.events.push(TraceEvent {
+            time,
+            node: node.into(),
+            kind: kind.into(),
+            detail: detail.into(),
+        });
+    }
+
+    /// All records, in insertion order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Records matching `kind`.
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// First record of the given kind, if any.
+    pub fn first_of_kind(&self, kind: &str) -> Option<&TraceEvent> {
+        self.events.iter().find(|e| e.kind == kind)
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Stable 64-bit digest over every record (FNV-1a over time, node,
+    /// kind and detail). Identical traces — and only identical traces, up
+    /// to hash collisions — produce the same digest.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        for e in &self.events {
+            eat(&e.time.as_nanos().to_le_bytes());
+            eat(e.node.as_bytes());
+            eat(&[0xFF]);
+            eat(e.kind.as_bytes());
+            eat(&[0xFE]);
+            eat(e.detail.as_bytes());
+            eat(&[0xFD]);
+        }
+        h
+    }
+}
+
+impl Extend<TraceEvent> for Trace {
+    fn extend<T: IntoIterator<Item = TraceEvent>>(&mut self, iter: T) {
+        self.events.extend(iter);
+    }
+}
+
+impl FromIterator<TraceEvent> for Trace {
+    fn from_iter<T: IntoIterator<Item = TraceEvent>>(iter: T) -> Self {
+        Self {
+            events: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new();
+        t.record(SimTime::from_millis(1), "edge", "detect", "d=1.45");
+        t.record(SimTime::from_millis(2), "rsu", "denm_tx", "seq=1");
+        t.record(SimTime::from_millis(3), "obu", "denm_rx", "seq=1");
+        t
+    }
+
+    #[test]
+    fn digest_is_stable_and_order_sensitive() {
+        assert_eq!(sample().digest(), sample().digest());
+        let mut reordered = Trace::new();
+        reordered.record(SimTime::from_millis(2), "rsu", "denm_tx", "seq=1");
+        reordered.record(SimTime::from_millis(1), "edge", "detect", "d=1.45");
+        reordered.record(SimTime::from_millis(3), "obu", "denm_rx", "seq=1");
+        assert_ne!(sample().digest(), reordered.digest());
+    }
+
+    #[test]
+    fn digest_distinguishes_field_boundaries() {
+        let mut a = Trace::new();
+        a.record(SimTime::ZERO, "ab", "c", "");
+        let mut b = Trace::new();
+        b.record(SimTime::ZERO, "a", "bc", "");
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn kind_filters() {
+        let t = sample();
+        assert_eq!(t.of_kind("denm_tx").count(), 1);
+        assert_eq!(t.first_of_kind("denm_rx").unwrap().node, "obu");
+        assert!(t.first_of_kind("missing").is_none());
+    }
+
+    #[test]
+    fn display_format() {
+        let t = sample();
+        let s = t.events()[0].to_string();
+        assert!(s.contains("edge"), "{s}");
+        assert!(s.contains("detect"), "{s}");
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let t: Trace = sample().events().to_vec().into_iter().collect();
+        assert_eq!(t.len(), 3);
+        let mut u = Trace::new();
+        u.extend(sample().events().to_vec());
+        assert_eq!(u.digest(), t.digest());
+    }
+}

@@ -1,0 +1,287 @@
+//! Raw bit-stream writer and reader.
+//!
+//! UPER is an *unaligned* encoding: fields occupy exactly as many bits as
+//! their constraints require and are packed back to back with no padding
+//! between them. These two types provide that substrate; the field-level
+//! encodings live in [`crate::fields`].
+
+use crate::error::UperError;
+use crate::Result;
+
+/// Append-only bit stream, most-significant bit first within each byte.
+///
+/// # Example
+///
+/// ```
+/// use uper::BitWriter;
+///
+/// let mut w = BitWriter::new();
+/// w.write_bits(0b101, 3);
+/// w.write_bool(true);
+/// assert_eq!(w.bit_len(), 4);
+/// let bytes = w.finish();
+/// assert_eq!(bytes, vec![0b1011_0000]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Number of bits already used in the final byte (0..8).
+    used: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.bytes.is_empty() {
+            0
+        } else {
+            (self.bytes.len() - 1) * 8 + usize::from(self.used)
+        }
+    }
+
+    /// Appends a single boolean as one bit.
+    pub fn write_bool(&mut self, value: bool) {
+        self.write_bits(u64::from(value), 1);
+    }
+
+    /// Appends the `count` least-significant bits of `value`, MSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn write_bits(&mut self, value: u64, count: u32) {
+        assert!(count <= 64, "cannot write more than 64 bits at once");
+        for i in (0..count).rev() {
+            let bit = (value >> i) & 1 == 1;
+            self.push_bit(bit);
+        }
+    }
+
+    /// Appends a whole byte slice (bit-aligned to the current position).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_bits(u64::from(b), 8);
+        }
+    }
+
+    fn push_bit(&mut self, bit: bool) {
+        // `used` is the number of occupied bits (0..=8) in the last byte.
+        if self.bytes.is_empty() || self.used == 8 {
+            self.bytes.push(0);
+            self.used = 0;
+        }
+        if bit {
+            let last = self.bytes.last_mut().expect("invariant: non-empty");
+            *last |= 1 << (7 - self.used);
+        }
+        self.used += 1;
+    }
+
+    /// Consumes the writer, returning the packed bytes.
+    ///
+    /// The final byte is zero-padded on the right, as in UPER framing.
+    pub fn finish(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Sequential reader over a packed bit stream produced by [`BitWriter`].
+///
+/// # Example
+///
+/// ```
+/// use uper::{BitReader, BitWriter};
+///
+/// # fn main() -> Result<(), uper::UperError> {
+/// let mut w = BitWriter::new();
+/// w.write_bits(0b1101, 4);
+/// let bytes = w.finish();
+/// let mut r = BitReader::new(&bytes);
+/// assert_eq!(r.read_bits(4)?, 0b1101);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    /// Absolute bit cursor.
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`, starting at bit 0.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Bits remaining until the end of the underlying slice.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() * 8 - self.pos
+    }
+
+    /// Current absolute bit position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Reads one bit as a boolean.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UperError::UnexpectedEnd`] at end of stream.
+    pub fn read_bool(&mut self) -> Result<bool> {
+        Ok(self.read_bits(1)? == 1)
+    }
+
+    /// Reads `count` bits MSB-first into the low bits of a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UperError::UnexpectedEnd`] if fewer than `count` bits
+    /// remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn read_bits(&mut self, count: u32) -> Result<u64> {
+        assert!(count <= 64, "cannot read more than 64 bits at once");
+        if self.remaining() < count as usize {
+            return Err(UperError::UnexpectedEnd {
+                requested: count as usize,
+                remaining: self.remaining(),
+            });
+        }
+        let mut out = 0u64;
+        for _ in 0..count {
+            let byte = self.bytes[self.pos / 8];
+            let bit = (byte >> (7 - (self.pos % 8))) & 1;
+            out = (out << 1) | u64::from(bit);
+            self.pos += 1;
+        }
+        Ok(out)
+    }
+
+    /// Reads `len` whole bytes from the (possibly unaligned) stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UperError::UnexpectedEnd`] if the stream is too short.
+    pub fn read_bytes(&mut self, len: usize) -> Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.read_bits(8)? as u8);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_writer_produces_no_bytes() {
+        assert!(BitWriter::new().finish().is_empty());
+        assert_eq!(BitWriter::new().bit_len(), 0);
+    }
+
+    #[test]
+    fn single_bit_layout_is_msb_first() {
+        let mut w = BitWriter::new();
+        w.write_bool(true);
+        assert_eq!(w.finish(), vec![0b1000_0000]);
+    }
+
+    #[test]
+    fn crossing_byte_boundary() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1_1111, 5);
+        w.write_bits(0b0001, 4); // crosses into second byte
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0b1111_1000, 0b1000_0000]);
+    }
+
+    #[test]
+    fn write_zero_bits_is_noop() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xFFFF, 0);
+        assert_eq!(w.bit_len(), 0);
+        assert!(w.finish().is_empty());
+    }
+
+    #[test]
+    fn write_full_64_bits() {
+        let mut w = BitWriter::new();
+        w.write_bits(u64::MAX, 64);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0xFF; 8]);
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn reader_end_of_stream() {
+        let bytes = [0xAB];
+        let mut r = BitReader::new(&bytes);
+        r.read_bits(8).unwrap();
+        let err = r.read_bits(1).unwrap_err();
+        assert!(matches!(err, UperError::UnexpectedEnd { .. }));
+    }
+
+    #[test]
+    fn reader_tracks_position_and_remaining() {
+        let bytes = [0x00, 0x00];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.remaining(), 16);
+        r.read_bits(5).unwrap();
+        assert_eq!(r.position(), 5);
+        assert_eq!(r.remaining(), 11);
+    }
+
+    #[test]
+    fn bytes_roundtrip_unaligned() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bytes(&[0xDE, 0xAD]);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bytes(2).unwrap(), vec![0xDE, 0xAD]);
+    }
+
+    proptest! {
+        #[test]
+        fn bits_roundtrip(value in any::<u64>(), count in 0u32..=64) {
+            let masked = if count == 64 { value } else { value & ((1u64 << count) - 1) };
+            let mut w = BitWriter::new();
+            w.write_bits(masked, count);
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            prop_assert_eq!(r.read_bits(count).unwrap(), masked);
+        }
+
+        #[test]
+        fn many_fields_roundtrip(fields in proptest::collection::vec((any::<u64>(), 1u32..=64), 0..32)) {
+            let mut w = BitWriter::new();
+            let mut expected = Vec::new();
+            for &(v, c) in &fields {
+                let masked = if c == 64 { v } else { v & ((1u64 << c) - 1) };
+                w.write_bits(masked, c);
+                expected.push((masked, c));
+            }
+            let total: usize = fields.iter().map(|&(_, c)| c as usize).sum();
+            prop_assert_eq!(w.bit_len(), total);
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            for (v, c) in expected {
+                prop_assert_eq!(r.read_bits(c).unwrap(), v);
+            }
+        }
+    }
+}

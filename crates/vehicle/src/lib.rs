@@ -1,0 +1,39 @@
+//! The 1/10-scale robotic vehicle (CopaDrive / F1Tenth-style platform).
+//!
+//! Reproduces the in-vehicle half of the testbed (paper §III-B): a Traxxas
+//! Rally 1/10 chassis whose electric motor is driven by an ESC over PWM, a
+//! Jetson running the line-following pipeline (camera → edge detection →
+//! probabilistic Hough transform → motion planner → PID steering), and a
+//! Teensy MCU bridging the Jetson to motor and servo over USART.
+//!
+//! Module map (mirrors Figure 5/6 of the paper):
+//!
+//! * [`dynamics`] — longitudinal model (drive force, rolling resistance,
+//!   drag, power-cut coast-down) and the bicycle kinematics,
+//! * [`pid`] — the PID controller used for steering,
+//! * [`linefollow`] — the Line Detection algorithm: synthetic camera
+//!   frames of the floor line, edge extraction, probabilistic Hough vote,
+//!   and lane-line estimation,
+//! * [`actuators`] — ESC/PWM and the Teensy USART link, including the
+//!   emergency power-cut path,
+//! * [`planner`] — the Motion Planner and Message Handler: line following
+//!   in normal operation, stop override when a DENM arrives.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod actuators;
+pub mod dynamics;
+pub mod linefollow;
+pub mod pid;
+pub mod planner;
+pub mod sensors;
+pub mod speed;
+
+pub use actuators::{ActuatorCommand, TeensyLink};
+pub use dynamics::{BicycleState, LongitudinalModel, VehicleParams};
+pub use linefollow::{LineFollower, Track};
+pub use pid::Pid;
+pub use planner::{DriveMode, MessageHandler, MotionPlanner, StopPolicy};
+pub use sensors::{ImuModel, WheelOdometry};
+pub use speed::SpeedController;

@@ -1,0 +1,140 @@
+//! Closed-loop speed holding.
+//!
+//! The testbed scenarios approach the camera at a steady speed; the real
+//! vehicle holds it with a software governor on the ESC command. This
+//! module provides that governor: a PID around the longitudinal model,
+//! with feed-forward from the known resistive forces so the integrator
+//! only has to absorb modelling error.
+
+use crate::dynamics::VehicleParams;
+use crate::pid::Pid;
+
+/// PID + feed-forward speed governor producing throttle commands.
+///
+/// # Example
+///
+/// ```
+/// use vehicle::dynamics::{LongitudinalModel, VehicleParams};
+/// use vehicle::speed::SpeedController;
+///
+/// let params = VehicleParams::default();
+/// let mut car = LongitudinalModel::new(params);
+/// let mut governor = SpeedController::new(&params, 1.5);
+/// for _ in 0..3000 {
+///     let u = governor.throttle(car.speed_mps(), 0.002);
+///     car.step(0.002, u);
+/// }
+/// assert!((car.speed_mps() - 1.5).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpeedController {
+    pid: Pid,
+    target_mps: f64,
+    feed_forward: f64,
+}
+
+impl SpeedController {
+    /// Creates a governor for the given vehicle and target speed.
+    pub fn new(params: &VehicleParams, target_mps: f64) -> Self {
+        let mut s = Self {
+            pid: Pid::new(0.8, 0.6, 0.0)
+                .with_output_limit(1.0)
+                .with_integral_limit(0.5),
+            target_mps: 0.0,
+            feed_forward: 0.0,
+        };
+        s.retarget(params, target_mps);
+        s
+    }
+
+    /// Changes the target speed, recomputing the feed-forward throttle
+    /// that balances rolling and aerodynamic resistance at that speed.
+    pub fn retarget(&mut self, params: &VehicleParams, target_mps: f64) {
+        let v = target_mps.clamp(0.0, params.top_speed_mps);
+        let resist =
+            params.rolling_resistance * params.mass_kg * 9.81 + params.aero_drag_n_per_mps2 * v * v;
+        self.feed_forward = (resist / params.max_drive_force_n).clamp(0.0, 1.0);
+        self.target_mps = v;
+    }
+
+    /// The current target speed.
+    pub fn target_mps(&self) -> f64 {
+        self.target_mps
+    }
+
+    /// One control step: returns the throttle command `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not positive and finite.
+    pub fn throttle(&mut self, measured_mps: f64, dt: f64) -> f64 {
+        let correction = self.pid.update(self.target_mps - measured_mps, dt);
+        (self.feed_forward + correction).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamics::LongitudinalModel;
+
+    #[test]
+    fn converges_to_target_from_standstill() {
+        let params = VehicleParams::default();
+        let mut car = LongitudinalModel::new(params);
+        let mut gov = SpeedController::new(&params, 1.5);
+        for _ in 0..5000 {
+            let u = gov.throttle(car.speed_mps(), 0.002);
+            car.step(0.002, u);
+        }
+        assert!((car.speed_mps() - 1.5).abs() < 0.03, "{}", car.speed_mps());
+    }
+
+    #[test]
+    fn converges_from_above_target() {
+        let params = VehicleParams::default();
+        let mut car = LongitudinalModel::new(params);
+        car.set_speed(4.0);
+        let mut gov = SpeedController::new(&params, 1.5);
+        for _ in 0..8000 {
+            let u = gov.throttle(car.speed_mps(), 0.002);
+            car.step(0.002, u);
+        }
+        assert!((car.speed_mps() - 1.5).abs() < 0.05, "{}", car.speed_mps());
+    }
+
+    #[test]
+    fn retarget_moves_the_setpoint() {
+        let params = VehicleParams::default();
+        let mut car = LongitudinalModel::new(params);
+        let mut gov = SpeedController::new(&params, 1.0);
+        for _ in 0..4000 {
+            let u = gov.throttle(car.speed_mps(), 0.002);
+            car.step(0.002, u);
+        }
+        gov.retarget(&params, 2.5);
+        assert_eq!(gov.target_mps(), 2.5);
+        for _ in 0..6000 {
+            let u = gov.throttle(car.speed_mps(), 0.002);
+            car.step(0.002, u);
+        }
+        assert!((car.speed_mps() - 2.5).abs() < 0.05, "{}", car.speed_mps());
+    }
+
+    #[test]
+    fn throttle_always_in_unit_range() {
+        let params = VehicleParams::default();
+        let mut gov = SpeedController::new(&params, 10.0);
+        for v in [-5.0, 0.0, 3.0, 20.0] {
+            let u = gov.throttle(v, 0.01);
+            assert!((0.0..=1.0).contains(&u), "u = {u} at v = {v}");
+        }
+    }
+
+    #[test]
+    fn target_clamped_to_top_speed() {
+        let params = VehicleParams::default();
+        let gov = SpeedController::new(&params, 100.0);
+        assert_eq!(gov.target_mps(), params.top_speed_mps);
+    }
+}

@@ -1,0 +1,105 @@
+//! Ablation sweeps over the testbed's design parameters: polling
+//! period, camera frame rate, Action Point placement, approach speed,
+//! NTP quality, and the hazard trigger rule (fixed Action Point vs
+//! time-to-collision from the motion tracker).
+//!
+//! ```sh
+//! cargo run --example ablation_sweeps --release
+//! ```
+
+use its_testbed::ablation::{
+    sweep_action_point, sweep_camera_fps, sweep_ntp_quality, sweep_poll_period, sweep_shadowing,
+    sweep_speed, sweep_tx_power,
+};
+use its_testbed::scenario::{HazardRule, Scenario, ScenarioConfig};
+
+fn main() {
+    let base = ScenarioConfig {
+        seed: 7000,
+        ..ScenarioConfig::default()
+    };
+    let runs = 12;
+
+    println!("== polling period (the #4->#5 knob) ==");
+    println!(
+        "{}",
+        sweep_poll_period(&base, &[10, 25, 50, 100, 200], runs).render()
+    );
+
+    println!("== camera frame rate (the #1->#2 knob) ==");
+    println!(
+        "{}",
+        sweep_camera_fps(&base, &[2.0, 4.0, 8.0, 15.0], runs).render()
+    );
+
+    println!("== action point placement (safety margin) ==");
+    println!(
+        "{}",
+        sweep_action_point(&base, &[1.0, 1.25, 1.52, 1.8, 2.2], runs).render()
+    );
+
+    println!("== approach speed (braking distance growth) ==");
+    println!(
+        "{}",
+        sweep_speed(&base, &[0.75, 1.0, 1.5, 2.0, 3.0], runs).render()
+    );
+
+    println!("== NTP quality (measurement noise, not latency) ==");
+    println!(
+        "{}",
+        sweep_ntp_quality(&base, &[0.0, 300.0, 1_000.0, 5_000.0, 10_000.0], runs).render()
+    );
+
+    println!("== transmit power (link-budget cliff) ==");
+    println!(
+        "{}",
+        sweep_tx_power(&base, &[-45.0, -40.0, -36.0, -32.0, 0.0, 23.0], runs).render()
+    );
+
+    println!("== shadowing sigma at the link margin (tx −32 dBm) ==");
+    println!(
+        "{}",
+        sweep_shadowing(&base, &[0.0, 3.0, 6.0, 12.0], runs).render()
+    );
+
+    println!("== hazard rule: fixed Action Point vs time-to-collision ==");
+    println!("  rule                      detected at (m)   halt margin (m)");
+    for (name, rule) in [
+        ("action point 1.52 m", HazardRule::ActionPoint),
+        (
+            "TTC 1.2 s (3 hits)",
+            HazardRule::TimeToCollision {
+                ttc_s: 1.2,
+                min_hits: 3,
+            },
+        ),
+        (
+            "TTC 2.0 s (3 hits)",
+            HazardRule::TimeToCollision {
+                ttc_s: 2.0,
+                min_hits: 3,
+            },
+        ),
+    ] {
+        let mut detected = Vec::new();
+        let mut margin = Vec::new();
+        for i in 0..runs {
+            let r = Scenario::new(ScenarioConfig {
+                seed: base.seed + i as u64,
+                hazard_rule: rule,
+                ..base.clone()
+            })
+            .run();
+            if let (Some(d), Some(m)) = (r.detection_distance_m, r.halt_distance_to_camera_m) {
+                detected.push(d);
+                margin.push(m);
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        println!(
+            "  {name:<24}  {:>15.2}   {:>15.2}",
+            mean(&detected),
+            mean(&margin)
+        );
+    }
+}

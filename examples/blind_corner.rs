@@ -1,0 +1,95 @@
+//! The motivating blind-corner study (paper §I/§II): at an intersection
+//! with an obstructed corner, vehicles have neither visual nor wireless
+//! line of sight, so direct V2V warnings fail exactly when they are most
+//! needed — while a road-side unit with line of sight to both legs
+//! delivers reliably.
+//!
+//! This example sweeps the corner obstruction loss and compares V2V
+//! delivery probability against V2I (via the RSU), reproducing the
+//! argument for infrastructure support.
+//!
+//! ```sh
+//! cargo run --example blind_corner --release
+//! ```
+
+use phy80211p::channel::{Channel, ChannelConfig, Obstacle, Position2D};
+use phy80211p::ofdm::DataRate;
+use sim_core::{SimRng, SimTime};
+
+/// Delivery ratio of `n` frames over a link.
+fn delivery_ratio(
+    channel: &Channel,
+    tx: Position2D,
+    rx: Position2D,
+    frame_bytes: usize,
+    n: u32,
+    rng: &mut SimRng,
+) -> f64 {
+    let ok = (0..n)
+        .filter(|_| {
+            channel
+                .transmit(SimTime::ZERO, tx, rx, frame_bytes, DataRate::Mbps6, rng)
+                .delivered
+        })
+        .count();
+    f64::from(ok as u32) / f64::from(n)
+}
+
+fn main() {
+    // Intersection geometry (metres): two roads meet at the origin; the
+    // building occupies the inner corner. Vehicle A approaches from the
+    // east, vehicle B from the north; the RSU hangs over the corner with
+    // LoS down both legs.
+    let vehicle_a = Position2D::new(40.0, -3.0);
+    let vehicle_b = Position2D::new(-3.0, 40.0);
+    let rsu = Position2D::new(-3.0, -3.0);
+    let frame = 110; // DENM-sized
+
+    println!("Blind-corner intersection: V2V vs infrastructure-aided delivery");
+    println!(
+        "vehicle A at ({:.0},{:.0}), B at ({:.0},{:.0}), RSU at the corner\n",
+        vehicle_a.x, vehicle_a.y, vehicle_b.x, vehicle_b.y
+    );
+    println!("corner loss   V2V A->B   V2I A->RSU   V2I RSU->B   infra path");
+    for loss_db in [0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0] {
+        let mut cfg = ChannelConfig::default();
+        cfg.obstacles.push(Obstacle {
+            min: Position2D::new(2.0, 2.0),
+            max: Position2D::new(30.0, 30.0),
+            extra_loss_db: loss_db,
+        });
+        // NOTE: the corner building at (2..30, 2..30) blocks A↔B (the
+        // diagonal) but not A↔RSU or RSU↔B (both run along the roads).
+        let channel = Channel::new(cfg);
+        let mut rng = SimRng::seed_from(42);
+        let v2v = delivery_ratio(&channel, vehicle_a, vehicle_b, frame, 2000, &mut rng);
+        let a_rsu = delivery_ratio(&channel, vehicle_a, rsu, frame, 2000, &mut rng);
+        let rsu_b = delivery_ratio(&channel, rsu, vehicle_b, frame, 2000, &mut rng);
+        println!(
+            "  {loss_db:>5.0} dB   {v2v:>8.3}   {a_rsu:>10.3}   {rsu_b:>10.3}   {:>10.3}",
+            a_rsu * rsu_b
+        );
+    }
+
+    println!("\nWith a strongly obstructed corner the direct V2V link collapses while");
+    println!("the two-leg infrastructure path stays reliable — the premise of the");
+    println!("paper's network-aided collision avoidance use-case.");
+
+    // Geometry check: only the A↔B diagonal crosses the building.
+    let cfg = {
+        let mut c = ChannelConfig::default();
+        c.obstacles.push(Obstacle {
+            min: Position2D::new(2.0, 2.0),
+            max: Position2D::new(30.0, 30.0),
+            extra_loss_db: 30.0,
+        });
+        c
+    };
+    let channel = Channel::new(cfg);
+    println!(
+        "\npath-loss check: A->B {:.1} dB, A->RSU {:.1} dB, RSU->B {:.1} dB",
+        channel.path_loss_db(vehicle_a, vehicle_b),
+        channel.path_loss_db(vehicle_a, rsu),
+        channel.path_loss_db(rsu, vehicle_b),
+    );
+}

@@ -1,0 +1,72 @@
+//! Full evaluation-section reproduction: regenerates Table II, Figure 11,
+//! Table III and Figure 10 from batches of simulated runs, printing each
+//! next to the paper's reported values.
+//!
+//! ```sh
+//! cargo run --example collision_avoidance --release
+//! ```
+
+use its_testbed::experiments::{self, paper};
+use its_testbed::metrics::{fit_normal, fit_shifted_exponential, ks_statistic, mean};
+use its_testbed::scenario::ScenarioConfig;
+
+fn main() {
+    let base = ScenarioConfig {
+        seed: 2023,
+        ..ScenarioConfig::default()
+    };
+
+    println!("{}", experiments::table1());
+
+    // --- Table II: five runs, like the paper. ---
+    let t2 = experiments::table2(&base, 5);
+    println!("{}", t2.render());
+    println!(
+        "paper averages: #2->#3 {:.1} | #3->#4 {:.1} | #4->#5 {:.1} | total {:.1} ms\n",
+        mean(&paper::INTERVAL_2_3),
+        mean(&paper::INTERVAL_3_4),
+        mean(&paper::INTERVAL_4_5),
+        mean(&paper::TOTAL),
+    );
+
+    // --- Figure 11: EDF of total delay. ---
+    let f11 = experiments::fig11(&base, 5);
+    println!("{}", f11.render());
+
+    // A larger-N EDF plus the distribution fit the paper lists as future
+    // work ("model it with an appropriate distribution").
+    let f11_large = experiments::fig11(&base, 100);
+    let normal = fit_normal(&f11_large.edf);
+    let sexp = fit_shifted_exponential(&f11_large.edf);
+    println!(
+        "n=100 extension: mean {:.1} ms, p95 {:.1} ms, max {:.1} ms (all < 100: {})",
+        f11_large.edf.mean(),
+        f11_large.edf.quantile(0.95),
+        f11_large.edf.max(),
+        f11_large.edf.max() < 100.0
+    );
+    println!(
+        "  normal fit: mu={:.1} sigma={:.1}  KS={:.3}",
+        normal.mean,
+        normal.std_dev,
+        ks_statistic(&f11_large.edf, |x| normal.cdf(x))
+    );
+    println!(
+        "  shifted-exponential fit: shift={:.1} scale={:.1}  KS={:.3}\n",
+        sexp.shift,
+        sexp.scale,
+        ks_statistic(&f11_large.edf, |x| sexp.cdf(x))
+    );
+
+    // --- Table III: seven runs, like the paper. ---
+    let t3 = experiments::table3(&base, 7);
+    println!("{}", t3.render());
+    println!(
+        "paper: avg {:.2} m, variance 0.0022\n",
+        mean(&paper::BRAKING)
+    );
+
+    // --- Figure 10: video-frame detection-to-stop. ---
+    let f10 = experiments::fig10(&base);
+    println!("{}", f10.render());
+}

@@ -1,0 +1,222 @@
+//! Hardware-in-the-loop flavour: the OpenC2X HTTP application API over
+//! real TCP sockets, exercising the exact `trigger_denm` /
+//! `request_denm` flow of paper §III-D2.
+
+use std::sync::Arc;
+
+use its_messages::cause_codes::{CauseCode, CollisionRiskSubCause};
+use its_messages::common::{ActionId, ReferencePosition, StationId, StationType, TimestampIts};
+use its_messages::denm::{Denm, ManagementContainer, SituationContainer};
+use openc2x::api::{ObuApi, RsuApi};
+use openc2x::http::{post, request};
+
+fn collision_denm(seq: u16) -> Denm {
+    let rsu = StationId::new(15).unwrap();
+    Denm::new(
+        rsu,
+        ManagementContainer::new(
+            ActionId::new(rsu, seq),
+            TimestampIts::new(1_000).unwrap(),
+            TimestampIts::new(1_005).unwrap(),
+            ReferencePosition::from_degrees(41.178, -8.608),
+            StationType::RoadSideUnit,
+        ),
+    )
+    .with_situation(
+        SituationContainer::new(
+            7,
+            CauseCode::CollisionRisk(CollisionRiskSubCause::CrossingCollisionRisk),
+        )
+        .unwrap(),
+    )
+}
+
+#[test]
+fn trigger_denm_roundtrip_over_tcp() {
+    let rsu = Arc::new(RsuApi::new());
+    let server = rsu.serve("127.0.0.1:0").unwrap();
+    let denm = collision_denm(1);
+    let resp = post(server.addr(), "/trigger_denm", &denm.to_bytes().unwrap()).unwrap();
+    assert_eq!(resp.status, 200);
+    let outbox = rsu.take_outbox();
+    assert_eq!(outbox, vec![denm]);
+    server.shutdown();
+}
+
+#[test]
+fn request_denm_empty_then_delivers_in_order() {
+    let obu = Arc::new(ObuApi::new());
+    let server = obu.serve("127.0.0.1:0").unwrap();
+
+    // "If no DENM is found, it only returns an HTTP 200 success status
+    // code."
+    let r = post(server.addr(), "/request_denm", b"").unwrap();
+    assert_eq!((r.status, r.body.len()), (200, 0));
+
+    obu.deliver(collision_denm(1));
+    obu.deliver(collision_denm(2));
+
+    let r1 = post(server.addr(), "/request_denm", b"").unwrap();
+    let d1 = Denm::from_bytes(&r1.body).unwrap();
+    assert_eq!(d1.management.action_id.sequence_number, 1);
+    let r2 = post(server.addr(), "/request_denm", b"").unwrap();
+    let d2 = Denm::from_bytes(&r2.body).unwrap();
+    assert_eq!(d2.management.action_id.sequence_number, 2);
+    let r3 = post(server.addr(), "/request_denm", b"").unwrap();
+    assert!(r3.body.is_empty());
+    server.shutdown();
+}
+
+#[test]
+fn full_edge_to_vehicle_http_chain() {
+    // edge --POST trigger_denm--> RSU --stack--> OBU --POST
+    // request_denm--> vehicle control logic.
+    let rsu = Arc::new(RsuApi::new());
+    let rsu_server = rsu.serve("127.0.0.1:0").unwrap();
+    let obu = Arc::new(ObuApi::new());
+    let obu_server = obu.serve("127.0.0.1:0").unwrap();
+
+    let denm = collision_denm(9);
+    assert_eq!(
+        post(
+            rsu_server.addr(),
+            "/trigger_denm",
+            &denm.to_bytes().unwrap()
+        )
+        .unwrap()
+        .status,
+        200
+    );
+    // The "stack": RSU outbox → air → OBU pending.
+    for d in rsu.take_outbox() {
+        obu.deliver(d);
+    }
+    let resp = post(obu_server.addr(), "/request_denm", b"").unwrap();
+    let received = Denm::from_bytes(&resp.body).unwrap();
+    assert!(received.event_type().unwrap().requires_emergency_brake());
+
+    // The vehicle-side reaction (paper: any DENM response → cut power).
+    let mut planner =
+        vehicle::planner::MotionPlanner::new(0.25, vehicle::planner::StopPolicy::AnyDenm);
+    assert!(planner.on_denm(&received));
+    assert_eq!(
+        planner.plan(None),
+        vehicle::actuators::ActuatorCommand::CutPower
+    );
+
+    rsu_server.shutdown();
+    obu_server.shutdown();
+}
+
+#[test]
+fn malformed_denm_rejected_with_400() {
+    let rsu = Arc::new(RsuApi::new());
+    let server = rsu.serve("127.0.0.1:0").unwrap();
+    let resp = post(server.addr(), "/trigger_denm", &[0xDE, 0xAD]).unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(rsu.take_outbox().is_empty());
+    server.shutdown();
+}
+
+#[test]
+fn wrong_method_or_path_is_404() {
+    let obu = Arc::new(ObuApi::new());
+    let server = obu.serve("127.0.0.1:0").unwrap();
+    assert_eq!(
+        request(server.addr(), "GET", "/request_denm", b"")
+            .unwrap()
+            .status,
+        404
+    );
+    assert_eq!(
+        post(server.addr(), "/request_denm/extra", b"")
+            .unwrap()
+            .status,
+        404
+    );
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_polls_take_each_denm_once() {
+    let obu = Arc::new(ObuApi::new());
+    let server = obu.serve("127.0.0.1:0").unwrap();
+    for seq in 0..16 {
+        obu.deliver(collision_denm(seq));
+    }
+    let addr = server.addr();
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                loop {
+                    let r = post(addr, "/request_denm", b"").unwrap();
+                    if r.body.is_empty() {
+                        break;
+                    }
+                    got.push(
+                        Denm::from_bytes(&r.body)
+                            .unwrap()
+                            .management
+                            .action_id
+                            .sequence_number,
+                    );
+                }
+                got
+            })
+        })
+        .collect();
+    let mut all: Vec<u16> = handles
+        .into_iter()
+        .flat_map(|h| h.join().unwrap())
+        .collect();
+    all.sort_unstable();
+    assert_eq!(all, (0..16).collect::<Vec<u16>>(), "each DENM exactly once");
+    server.shutdown();
+}
+
+#[test]
+fn web_interface_reflects_station_ldm() {
+    use openc2x::api::WebInterface;
+    use openc2x::node::{ItsStation, StationConfig};
+    use phy80211p::Position2D;
+    use sim_core::{NodeClock, SimTime};
+
+    let mut rsu = ItsStation::new(
+        StationConfig::rsu(StationId::new(15).unwrap()),
+        NodeClock::perfect(0),
+    );
+    rsu.set_position(Position2D::new(0.0, 1.0));
+    let mut obu = ItsStation::new(
+        StationConfig::obu(StationId::new(7).unwrap()),
+        NodeClock::perfect(0),
+    );
+    obu.set_position(Position2D::new(2.0, 0.0));
+
+    // Learn the OBU via a CAM, then publish the LDM snapshot.
+    let cam = obu.poll_cam(SimTime::ZERO).unwrap().unwrap();
+    rsu.on_packet(SimTime::ZERO, &cam);
+
+    let web = std::sync::Arc::new(WebInterface::new());
+    let server = web.serve("127.0.0.1:0").unwrap();
+    web.publish(rsu.ldm_snapshot(SimTime::ZERO));
+
+    let r = openc2x::http::request(server.addr(), "GET", "/ldm", b"").unwrap();
+    let body = String::from_utf8(r.body).unwrap();
+    assert!(body.contains("stations: 1"), "{body}");
+    assert!(body.contains("station station-15"), "{body}");
+    server.shutdown();
+}
+
+#[test]
+fn poll_rate_sustained() {
+    // The paper's script polls continuously; make sure the server
+    // sustains a realistic poll rate without dropping requests.
+    let obu = Arc::new(ObuApi::new());
+    let server = obu.serve("127.0.0.1:0").unwrap();
+    for _ in 0..200 {
+        let r = post(server.addr(), "/request_denm", b"").unwrap();
+        assert_eq!(r.status, 200);
+    }
+    server.shutdown();
+}

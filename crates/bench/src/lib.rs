@@ -5,6 +5,10 @@
 //! the paper reports) and then measures the underlying computation with
 //! Criterion.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+#![warn(missing_docs)]
+
 use its_testbed::scenario::ScenarioConfig;
 
 /// The base configuration used by every table/figure bench, seeded so

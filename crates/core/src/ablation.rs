@@ -380,7 +380,7 @@ mod tests {
         }
         // σ=0 must be at an extreme; σ=12 strictly between the extremes
         // or at least different.
-        assert!(delivery[0] == 0.0 || delivery[0] == 1.0, "{delivery:?}");
+        assert!(delivery[0] <= 0.0 || delivery[0] >= 1.0, "{delivery:?}");
         assert_ne!(delivery[0], delivery[1], "{delivery:?}");
     }
 

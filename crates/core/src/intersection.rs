@@ -297,7 +297,7 @@ impl IntersectionScenario {
 
         // Protagonist halted after a power cut?
         if !self.throttle_on
-            && self.protagonist.speed_mps() == 0.0
+            && self.protagonist.speed_mps() <= 0.0
             && !self.record.protagonist_stopped
         {
             self.record.protagonist_stopped = true;

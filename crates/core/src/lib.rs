@@ -37,6 +37,7 @@
 //! `benches`) implement the paper's §V future work.
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 pub mod ablation;

@@ -68,7 +68,7 @@ impl Edf {
     /// Panics if `q` is outside `[0, 1]`.
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "quantile q must be in [0, 1]");
-        if q == 0.0 {
+        if q <= 0.0 {
             return self.sorted[0];
         }
         let rank = (q * self.sorted.len() as f64).ceil() as usize;

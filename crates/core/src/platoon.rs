@@ -266,7 +266,7 @@ pub fn run_platoon(config: &PlatoonConfig) -> PlatoonRecord {
             };
             travelled = car.distance_m();
             profile.push((t, travelled));
-            if cut_at.is_some_and(|c| t > c) && car.speed_mps() == 0.0 {
+            if cut_at.is_some_and(|c| t > c) && car.speed_mps() <= 0.0 {
                 break;
             }
             car.step(dt, throttle);

@@ -474,7 +474,7 @@ impl Scenario {
         // Step 6: standstill after the power cut.
         if self.record.step6_halt.is_none()
             && self.record.step5_actuation.is_some()
-            && self.car.speed_mps() == 0.0
+            && self.car.speed_mps() <= 0.0
         {
             self.record.step6_halt = Some(now);
             self.record.odometer_at_halt_m = Some(self.car.distance_m());

@@ -1,0 +1,226 @@
+//! A minimal, dependency-free stand-in for the `criterion` benchmarking
+//! crate, so the bench harness builds and runs in fully offline
+//! environments (no crates.io index).
+//!
+//! Only the API surface used by `crates/bench` is provided: plain
+//! wall-clock timing with a fixed warm-up, mean/min/max reporting, and
+//! the `criterion_group!` / `criterion_main!` macros. Statistical
+//! analysis, plots and HTML reports of upstream Criterion are
+//! intentionally out of scope — the numbers printed here are meant for
+//! coarse regression spotting, not publication.
+//!
+//! This crate is the one sanctioned home of wall-clock reads outside
+//! `sim-core`: benchmarks measure *host* time by definition, which is
+//! why the uses below carry `detlint:allow(D1)` annotations (see
+//! `crates/detlint`).
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+#![warn(missing_docs)]
+
+pub use std::hint::black_box;
+
+// detlint:allow(D1) benchmarks measure real host time by definition
+use std::time::Instant;
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id.as_ref(), self.sample_size, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.as_ref().to_owned(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Throughput annotation attached to a group, mirroring
+/// `criterion::Throughput`.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.as_ref());
+        run_one(&label, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (upstream API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; its [`iter`](Bencher::iter) method
+/// times the routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Nanoseconds measured for the most recent `iter` batch.
+    elapsed_ns: u128,
+    /// Iterations executed in the most recent `iter` batch.
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough times to smooth scheduler
+    /// noise at the resolution coarse regression checks need.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up, and a cheap calibration of how many iterations fit
+        // a ~5 ms measurement window.
+        // detlint:allow(D1) benchmarks measure real host time by definition
+        let t0 = Instant::now();
+        black_box(routine());
+        let once_ns = t0.elapsed().as_nanos().max(1);
+        let iters = (5_000_000 / once_ns).clamp(1, 100_000) as u64;
+        // detlint:allow(D1) benchmarks measure real host time by definition
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed_ns = t1.elapsed().as_nanos().max(1);
+        self.iterations = iters;
+    }
+
+    fn ns_per_iter(&self) -> f64 {
+        self.elapsed_ns as f64 / self.iterations.max(1) as f64
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut per_iter = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher::default();
+        f(&mut b);
+        if b.iterations > 0 {
+            per_iter.push(b.ns_per_iter());
+        }
+    }
+    if per_iter.is_empty() {
+        println!("{label:50} (no samples)");
+        return;
+    }
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_iter.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let extra = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "  {:>8.1} MiB/s",
+                n as f64 / (mean / 1e9) / (1024.0 * 1024.0)
+            )
+        }
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>8.1} Melem/s", n as f64 / (mean / 1e9) / 1e6)
+        }
+        None => String::new(),
+    };
+    println!("{label:50} mean {mean:>12.1} ns  (min {min:.1}, max {max:.1}){extra}");
+}
+
+/// Declares a function that runs a list of benchmark functions,
+/// mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::default();
+        b.iter(|| black_box(40u64) + 2);
+        assert!(b.iterations >= 1);
+        assert!(b.elapsed_ns >= 1);
+    }
+
+    #[test]
+    fn group_runs_to_completion() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        group.throughput(Throughput::Bytes(64));
+        group.bench_function("noop", |b| b.iter(|| black_box(1)));
+        group.finish();
+    }
+}

@@ -1,0 +1,238 @@
+//! `detlint.toml` parsing.
+//!
+//! detlint is dependency-free, so this is a hand-rolled parser for the
+//! small TOML subset the config needs: `[section.sub]` headers, string
+//! values, arrays of strings, booleans and comments. Unknown keys are
+//! rejected so typos fail loudly instead of silently disabling a rule.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Scan and rule configuration, usually loaded from `detlint.toml` at
+/// the workspace root. [`Config::default`] encodes the workspace's
+/// actual invariants, so the binary also works with no config file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Config {
+    /// Directories (relative to the root) to scan for `.rs` files.
+    pub scan: Vec<String>,
+    /// Path substrings that are never scanned (e.g. `target`).
+    pub skip: Vec<String>,
+    /// Files exempt from D1 (wall-clock types), relative to the root.
+    pub d1_exempt: Vec<String>,
+    /// Files exempt from D2 (ambient RNG), relative to the root.
+    pub d2_exempt: Vec<String>,
+    /// Crate names whose code must not use hash-ordered collections (D3).
+    pub d3_crates: Vec<String>,
+    /// Per-event hot-path files that must stay panic-free (S2).
+    pub s2_paths: Vec<String>,
+    /// Rule IDs disabled entirely.
+    pub disabled: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            scan: vec!["crates".into(), "tests".into()],
+            skip: vec!["target".into()],
+            d1_exempt: vec!["crates/sim-core/src/clock.rs".into()],
+            d2_exempt: vec!["crates/sim-core/src/rng.rs".into()],
+            d3_crates: vec![
+                "sim-core".into(),
+                "facilities".into(),
+                "geonet".into(),
+                "phy80211p".into(),
+                "core".into(),
+                "vehicle".into(),
+                "perception".into(),
+            ],
+            s2_paths: vec![
+                "crates/phy80211p/src/edca.rs".into(),
+                "crates/phy80211p/src/channel.rs".into(),
+                "crates/phy80211p/src/dcc.rs".into(),
+                "crates/phy80211p/src/ofdm.rs".into(),
+                "crates/geonet/src/forwarding.rs".into(),
+                "crates/geonet/src/headers.rs".into(),
+                "crates/geonet/src/btp.rs".into(),
+                "crates/geonet/src/bytesio.rs".into(),
+                "crates/geonet/src/loctable.rs".into(),
+                "crates/uper/src/bits.rs".into(),
+                "crates/uper/src/fields.rs".into(),
+            ],
+            disabled: Vec::new(),
+        }
+    }
+}
+
+/// A config-file problem, with the offending line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line in the config file.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "detlint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl Config {
+    /// Loads the config from `path`, or the defaults if the file does
+    /// not exist.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for unreadable files, syntax errors, or
+    /// unknown sections/keys.
+    pub fn load(path: &Path) -> Result<Config, ConfigError> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Config::default()),
+            Err(e) => Err(ConfigError {
+                line: 0,
+                message: format!("cannot read {}: {e}", path.display()),
+            }),
+        }
+    }
+
+    /// Parses config text. See [`Config::load`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] on syntax errors or unknown keys.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut values: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        let mut section = String::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx as u32 + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[') {
+                let name = name.strip_suffix(']').ok_or_else(|| ConfigError {
+                    line: line_no,
+                    message: "unterminated section header".into(),
+                })?;
+                section = name.trim().to_owned();
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| ConfigError {
+                line: line_no,
+                message: format!("expected `key = value`, got {line:?}"),
+            })?;
+            let full_key = if section.is_empty() {
+                key.trim().to_owned()
+            } else {
+                format!("{section}.{}", key.trim())
+            };
+            let items = parse_value(value.trim(), line_no)?;
+            values.insert(full_key, items);
+        }
+
+        let mut cfg = Config::default();
+        for (key, items) in values {
+            match key.as_str() {
+                "workspace.scan" => cfg.scan = items,
+                "workspace.skip" => cfg.skip = items,
+                "rules.disabled" => cfg.disabled = items,
+                "rules.D1.exempt" => cfg.d1_exempt = items,
+                "rules.D2.exempt" => cfg.d2_exempt = items,
+                "rules.D3.crates" => cfg.d3_crates = items,
+                "rules.S2.paths" => cfg.s2_paths = items,
+                other => {
+                    return Err(ConfigError {
+                        line: 0,
+                        message: format!("unknown config key `{other}`"),
+                    })
+                }
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// Parses a string or an array of strings.
+fn parse_value(value: &str, line: u32) -> Result<Vec<String>, ConfigError> {
+    if let Some(inner) = value.strip_prefix('[') {
+        // Arrays may span a single line only; that is all the config
+        // needs, and it keeps the parser honest about what it accepts.
+        let inner = inner
+            .trim_end()
+            .strip_suffix(']')
+            .ok_or_else(|| ConfigError {
+                line,
+                message: "arrays must open and close on one line".into(),
+            })?;
+        return inner
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| parse_string(s, line))
+            .collect();
+    }
+    Ok(vec![parse_string(value, line)?])
+}
+
+fn parse_string(s: &str, line: u32) -> Result<String, ConfigError> {
+    let s = s.trim();
+    if let Some(rest) = s.strip_prefix('"') {
+        if let Some(body) = rest.strip_suffix('"') {
+            return Ok(body.to_owned());
+        }
+    }
+    Err(ConfigError {
+        line,
+        message: format!("expected a double-quoted string, got {s:?}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_used_when_missing() {
+        let cfg = Config::load(Path::new("/nonexistent/detlint.toml")).unwrap();
+        assert_eq!(cfg, Config::default());
+    }
+
+    #[test]
+    fn parses_sections_and_arrays() {
+        let cfg = Config::parse(
+            r#"
+# comment
+[workspace]
+scan = ["crates"]
+skip = ["target", "vendor"]
+
+[rules.D3]
+crates = ["sim-core"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.scan, vec!["crates"]);
+        assert_eq!(cfg.skip, vec!["target", "vendor"]);
+        assert_eq!(cfg.d3_crates, vec!["sim-core"]);
+        // Untouched keys keep their defaults.
+        assert_eq!(cfg.d1_exempt, Config::default().d1_exempt);
+    }
+
+    #[test]
+    fn unknown_key_is_rejected() {
+        let err = Config::parse("[rules.D9]\nfoo = [\"x\"]\n").unwrap_err();
+        assert!(err.message.contains("unknown config key"));
+    }
+
+    #[test]
+    fn unquoted_string_is_rejected() {
+        assert!(Config::parse("[workspace]\nscan = [crates]\n").is_err());
+    }
+
+    #[test]
+    fn missing_equals_is_rejected() {
+        assert!(Config::parse("[workspace]\nscan\n").is_err());
+    }
+}

@@ -1,0 +1,548 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! `detlint` must run in offline environments, so it cannot use `syn`
+//! or `proc-macro2`; instead this module tokenizes Rust source just
+//! accurately enough for lexical rule checking. It understands the
+//! constructs that trip naive text search:
+//!
+//! * string literals (with escapes), byte strings, raw strings with any
+//!   number of `#`s — their *content* produces no tokens, so a string
+//!   containing `"HashMap"` never triggers a rule,
+//! * line comments and arbitrarily nested block comments (comment text
+//!   is scanned only for `detlint:allow(...)` annotations),
+//! * char literals vs. lifetimes (`'a'` vs `'a`),
+//! * numeric literals, classified as integer or float (so `1.0 == x`
+//!   is distinguishable from `1 == x`),
+//! * multi-char operators detlint rules care about (`==`, `!=`, `::`).
+//!
+//! Everything else becomes single-character punctuation tokens.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Lifetime such as `'a` (not a char literal).
+    Lifetime,
+    /// Integer literal.
+    Int,
+    /// Float literal (has a fractional dot, exponent, or f32/f64 suffix).
+    Float,
+    /// String, byte-string, raw-string, or char literal.
+    Literal,
+    /// Operator or punctuation; multi-char for `==`, `!=`, `::`.
+    Punct,
+}
+
+/// One token with its source location (1-based line and column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Source text of the token (empty for long literals).
+    pub text: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (in chars).
+    pub col: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+}
+
+/// A `// detlint:allow(RULE, ...) justification` annotation found in a
+/// comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowAnnotation {
+    /// Rule IDs being allowed.
+    pub rules: Vec<String>,
+    /// Free-text justification after the closing parenthesis.
+    pub justification: String,
+    /// 1-based line the annotation appears on.
+    pub line: u32,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All allow annotations found in comments.
+    pub allows: Vec<AllowAnnotation>,
+}
+
+/// Tokenizes `source`, collecting allow annotations from comments.
+pub fn lex(source: &str) -> Lexed {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32, col: u32) {
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(line, col),
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string_literal(line, col);
+                }
+                'r' | 'b' if self.raw_string_hashes().is_some() => {
+                    let hashes = self.raw_string_hashes().unwrap_or(0);
+                    self.raw_string_literal(hashes, line, col);
+                }
+                '\'' => self.char_or_lifetime(line, col),
+                c if c.is_ascii_digit() => self.number(line, col),
+                c if c == '_' || c.is_alphanumeric() => self.ident(line, col),
+                _ => self.punct(line, col),
+            }
+        }
+        self.out
+    }
+
+    /// If the cursor sits on `r"`, `r#"`, `br"`, `br#"`, … returns the
+    /// number of `#`s; otherwise `None`.
+    fn raw_string_hashes(&self) -> Option<usize> {
+        let mut i = 0;
+        if self.peek(i) == Some('b') {
+            i += 1;
+        }
+        if self.peek(i) != Some('r') {
+            return None;
+        }
+        i += 1;
+        let mut hashes = 0;
+        while self.peek(i) == Some('#') {
+            hashes += 1;
+            i += 1;
+        }
+        (self.peek(i) == Some('"')).then_some(hashes)
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.scan_comment_for_allow(&text, line);
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let mut depth = 0usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.scan_comment_for_allow(&text, line);
+    }
+
+    fn scan_comment_for_allow(&mut self, text: &str, line: u32) {
+        let Some(start) = text.find("detlint:allow(") else {
+            return;
+        };
+        let after = &text[start + "detlint:allow(".len()..];
+        let Some(close) = after.find(')') else {
+            // Malformed annotation: record it with no rules so the
+            // checker can flag it.
+            self.out.allows.push(AllowAnnotation {
+                rules: Vec::new(),
+                justification: String::new(),
+                line,
+            });
+            return;
+        };
+        let rules = after[..close]
+            .split(',')
+            .map(|r| r.trim().to_owned())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let justification = after[close + 1..].trim().to_owned();
+        self.out.allows.push(AllowAnnotation {
+            rules,
+            justification,
+            line,
+        });
+    }
+
+    fn string_literal(&mut self, line: u32, col: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Literal, String::new(), line, col);
+    }
+
+    fn raw_string_literal(&mut self, hashes: usize, line: u32, col: u32) {
+        // Consume the `b`/`r`/`#`* prefix and opening quote.
+        while self.peek(0) != Some('"') {
+            self.bump();
+        }
+        self.bump();
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokenKind::Literal, String::new(), line, col);
+    }
+
+    fn char_or_lifetime(&mut self, line: u32, col: u32) {
+        self.bump(); // the opening '
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume until closing quote.
+                self.bump();
+                self.bump(); // the escape head (n, u, ', …)
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Literal, String::new(), line, col);
+            }
+            Some(c) if c == '_' || c.is_alphanumeric() => {
+                // Could be 'a' (char) or 'a / 'static (lifetime).
+                let mut name = String::new();
+                let mut i = 0;
+                while let Some(c) = self.peek(i) {
+                    if c == '_' || c.is_alphanumeric() {
+                        name.push(c);
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if self.peek(i) == Some('\'') {
+                    // Char literal like 'a' or '字'.
+                    for _ in 0..=i {
+                        self.bump();
+                    }
+                    self.push(TokenKind::Literal, String::new(), line, col);
+                } else {
+                    for _ in 0..i {
+                        self.bump();
+                    }
+                    self.push(TokenKind::Lifetime, name, line, col);
+                }
+            }
+            _ => {
+                // Punctuation char literal like '(' or ' '.
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Literal, String::new(), line, col);
+            }
+        }
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        let mut is_float = false;
+        let radix_prefix = matches!(
+            (self.peek(0), self.peek(1)),
+            (Some('0'), Some('x' | 'o' | 'b' | 'X' | 'O' | 'B'))
+        );
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                // Decimal exponent (not a hex digit run).
+                if !radix_prefix
+                    && (c == 'e' || c == 'E')
+                    && matches!(self.peek(1), Some(d) if d.is_ascii_digit() || d == '+' || d == '-')
+                {
+                    is_float = true;
+                    text.push(c);
+                    self.bump();
+                    text.push(self.peek(0).unwrap_or('0'));
+                    self.bump();
+                    continue;
+                }
+                text.push(c);
+                self.bump();
+            } else if c == '.' {
+                // A dot continues the number only for `1.5` or trailing
+                // `1.` — not for ranges (`1..2`) or methods (`1.max(2)`).
+                match self.peek(1) {
+                    Some(d) if d.is_ascii_digit() => {
+                        is_float = true;
+                        text.push(c);
+                        self.bump();
+                    }
+                    Some(d) if d == '.' || d == '_' || d.is_alphabetic() => break,
+                    _ => {
+                        is_float = true;
+                        text.push(c);
+                        self.bump();
+                        break;
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        if !radix_prefix && (text.ends_with("f32") || text.ends_with("f64")) {
+            is_float = true;
+        }
+        let kind = if is_float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        };
+        self.push(kind, text, line, col);
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, text, line, col);
+    }
+
+    fn punct(&mut self, line: u32, col: u32) {
+        let c = self.bump().unwrap_or(' ');
+        let text = match (c, self.peek(0)) {
+            ('=', Some('=')) | ('!', Some('=')) | (':', Some(':')) => {
+                let n = self.bump().unwrap_or(' ');
+                let mut s = String::with_capacity(2);
+                s.push(c);
+                s.push(n);
+                s
+            }
+            _ => c.to_string(),
+        };
+        self.push(TokenKind::Punct, text, line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_produce_no_ident_tokens() {
+        let src = r#"let x = "HashMap::new() Instant thread_rng";"#;
+        assert_eq!(idents(src), vec!["let", "x"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_opaque() {
+        let src = "let s = r#\"contains \"quotes\" and HashMap\"#; let y = HashMap;";
+        assert_eq!(idents(src), vec!["let", "s", "let", "y", "HashMap"]);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_are_opaque() {
+        let src = "let a = b\"Instant\"; let b2 = br##\"SystemTime \"# \"##; done();";
+        assert_eq!(idents(src), vec!["let", "a", "let", "b2", "done"]);
+    }
+
+    #[test]
+    fn nested_block_comments_are_skipped() {
+        let src = "/* outer /* inner HashMap */ still comment */ real_ident";
+        assert_eq!(idents(src), vec!["real_ident"]);
+    }
+
+    #[test]
+    fn line_comments_are_skipped() {
+        let src = "// thread_rng() here\nactual";
+        assert_eq!(idents(src), vec!["actual"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str, c: char) { let y = 'z'; }").tokens;
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lifetimes.iter().all(|t| t.text == "a"));
+        let chars = toks.iter().filter(|t| t.kind == TokenKind::Literal).count();
+        assert_eq!(chars, 1, "the 'z' literal");
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let toks = lex(r"let nl = '\n'; let q = '\''; let u = '\u{41}'; next").tokens;
+        assert!(toks.iter().any(|t| t.is_ident("next")));
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokenKind::Literal).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn floats_vs_ints_vs_ranges() {
+        let toks =
+            lex("let a = 1.5; let b = 2; let r = 0..10; let m = 3.max(4); let t = 1.;").tokens;
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Float)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(floats, vec!["1.5", "1."]);
+        let ints: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Int)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(ints, vec!["2", "0", "10", "3", "4"]);
+    }
+
+    #[test]
+    fn float_suffix_and_exponent() {
+        let toks = lex("let a = 1f64; let b = 2e10; let c = 0x1E; let d = 3.0e-2;").tokens;
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Float)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(floats, vec!["1f64", "2e10", "3.0e-2"]);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Int && t.text == "0x1E"));
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        let toks = lex("a == b != c :: d <= e").tokens;
+        let puncts: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "::", "<", "="]);
+    }
+
+    #[test]
+    fn allow_annotations_are_collected_with_justification() {
+        let src = "// detlint:allow(D3) this map is never iterated\nlet x = 1;";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 1);
+        assert_eq!(lexed.allows[0].rules, vec!["D3"]);
+        assert_eq!(lexed.allows[0].justification, "this map is never iterated");
+        assert_eq!(lexed.allows[0].line, 1);
+    }
+
+    #[test]
+    fn allow_annotation_multiple_rules() {
+        let lexed = lex("// detlint:allow(D1, D4) bench timing\n");
+        assert_eq!(lexed.allows[0].rules, vec!["D1", "D4"]);
+    }
+
+    #[test]
+    fn allow_inside_string_is_not_an_annotation() {
+        let lexed = lex(r#"let s = "detlint:allow(D3) nope";"#);
+        assert!(lexed.allows.is_empty());
+    }
+
+    #[test]
+    fn token_positions_are_one_based() {
+        let toks = lex("a\n  bb").tokens;
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

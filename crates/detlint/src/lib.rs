@@ -1,0 +1,160 @@
+//! detlint — workspace static analysis proving determinism & safety
+//! invariants at build time.
+//!
+//! The testbed's headline claim is *reproducibility*: the same scenario
+//! seed must yield the same CAM/DENM traces, the same collision
+//! outcomes, the same metrics, on every run and every machine. That
+//! property is easy to destroy with one stray `Instant::now()`,
+//! `thread_rng()` or `HashMap` iteration deep inside an event handler —
+//! and such regressions are invisible to ordinary tests until a CI run
+//! flakes weeks later.
+//!
+//! detlint makes the invariants mechanical. It tokenizes every `.rs`
+//! file in the workspace with a small hand-rolled lexer (no `syn`, no
+//! external dependencies) and enforces the rules described in
+//! [`rules`]. It runs two ways:
+//!
+//! * `cargo run -p detlint` — the CLI, used by `scripts/check.sh`;
+//! * `tests/detlint_gate.rs` — a tier-1 test asserting zero findings,
+//!   so `cargo test` alone proves the tree is clean.
+//!
+//! Violations that are genuinely sound carry an inline annotation with
+//! a mandatory justification:
+//!
+//! ```text
+//! // detlint:allow(D1) benchmarks measure real host time by definition
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+pub use config::{Config, ConfigError};
+pub use rules::Finding;
+
+use std::path::{Path, PathBuf};
+
+/// The result of scanning a tree: every finding plus scan statistics.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// All unsuppressed findings, sorted by file then position.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Total source lines scanned.
+    pub lines_scanned: usize,
+}
+
+impl Report {
+    /// True when the tree satisfies every invariant.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Scans `root` (a workspace checkout) with `cfg` and returns the
+/// report. Files are visited in sorted path order, so output — and the
+/// report itself — is deterministic.
+///
+/// # Errors
+///
+/// Returns an [`std::io::Error`] if a configured scan directory cannot
+/// be read or a source file disappears mid-scan.
+pub fn run(root: &Path, cfg: &Config) -> std::io::Result<Report> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for dir in &cfg.scan {
+        let base = root.join(dir);
+        if base.is_dir() {
+            collect_rs_files(&base, cfg, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut report = Report::default();
+    for path in files {
+        let source = std::fs::read_to_string(&path)?;
+        let rel = rel_unix_path(root, &path);
+        report.files_scanned += 1;
+        report.lines_scanned += source.lines().count();
+        report
+            .findings
+            .extend(rules::check_file(cfg, &rel, &source));
+    }
+    // check_file sorts within a file and files were visited in sorted
+    // order, so the report is already position-sorted per file.
+    Ok(report)
+}
+
+/// Recursively collects `.rs` files under `dir`, honouring `cfg.skip`.
+fn collect_rs_files(dir: &Path, cfg: &Config, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<Result<_, _>>()?;
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if cfg.skip.iter().any(|s| *s == name) {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs_files(&path, cfg, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `root`-relative path with `/` separators, for stable cross-platform
+/// rule matching and output.
+fn rel_unix_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_of_tempdir_fixture_finds_planted_violations() {
+        let dir = std::env::temp_dir().join(format!("detlint-selftest-{}", std::process::id()));
+        let src = dir.join("crates/demo/src");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::write(
+            src.join("lib.rs"),
+            "#![forbid(unsafe_code)]\n#![deny(rust_2018_idioms)]\n#![warn(missing_docs)]\nuse std::time::Instant;\n",
+        )
+        .unwrap();
+        // A skipped directory must not be scanned.
+        let skipped = dir.join("crates/target");
+        std::fs::create_dir_all(&skipped).unwrap();
+        std::fs::write(skipped.join("junk.rs"), "use std::time::SystemTime;").unwrap();
+
+        let report = run(&dir, &Config::default()).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+
+        assert_eq!(report.files_scanned, 1);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, "D1");
+        assert_eq!(report.findings[0].file, "crates/demo/src/lib.rs");
+        assert_eq!(report.findings[0].line, 4);
+    }
+
+    #[test]
+    fn rel_unix_path_uses_forward_slashes() {
+        let root = Path::new("/a/b");
+        let p = Path::new("/a/b/crates/core/src/lib.rs");
+        assert_eq!(rel_unix_path(root, p), "crates/core/src/lib.rs");
+    }
+}

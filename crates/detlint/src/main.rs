@@ -1,0 +1,94 @@
+//! detlint CLI.
+//!
+//! ```text
+//! cargo run -p detlint [-- --root <dir>] [--config <file>] [--quiet]
+//! ```
+//!
+//! Scans the workspace and exits nonzero if any determinism or safety
+//! invariant is violated. See the crate docs of [`detlint`] for the
+//! rule catalogue.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut config: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--config" => config = args.next().map(PathBuf::from),
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "detlint — determinism & safety lint for the testbed workspace\n\n\
+                     USAGE: detlint [--root <dir>] [--config <file>] [--quiet]\n\n\
+                     Exits 0 when the tree is clean, 1 when invariants are violated,\n\
+                     2 on configuration errors."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("detlint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // CARGO_MANIFEST_DIR points at crates/detlint under `cargo run`;
+    // the workspace root is two levels up. Fall back to the cwd when
+    // invoked as a bare binary.
+    let root = root.unwrap_or_else(|| {
+        std::env::var_os("CARGO_MANIFEST_DIR")
+            .map(|d| PathBuf::from(d).join("../.."))
+            .unwrap_or_else(|| PathBuf::from("."))
+    });
+    let config_path = config.unwrap_or_else(|| root.join("detlint.toml"));
+
+    let cfg = match detlint::Config::load(&config_path) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("detlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // detlint:allow(D1) the linter itself reports real wall-clock scan time
+    let started = std::time::Instant::now();
+    let report = match detlint::run(&root, &cfg) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("detlint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let elapsed = started.elapsed();
+
+    for finding in &report.findings {
+        println!("{finding}\n");
+    }
+    if !quiet {
+        eprintln!(
+            "detlint: {} file(s), {} line(s) in {:.0?} — {}",
+            report.files_scanned,
+            report.lines_scanned,
+            elapsed,
+            if report.is_clean() {
+                "clean".to_owned()
+            } else {
+                format!("{} finding(s)", report.findings.len())
+            }
+        );
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

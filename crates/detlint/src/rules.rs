@@ -1,0 +1,584 @@
+//! The determinism & safety rules.
+//!
+//! Every rule works on the token stream produced by [`crate::lexer`],
+//! so occurrences inside strings, comments and doc examples never
+//! count. Rules are lexical by design — no type inference — which keeps
+//! the pass dependency-free and fast; where lexical analysis cannot
+//! prove a use is safe (say, a `HashMap` that is genuinely never
+//! iterated), the escape hatch is an explicit, justified
+//! `// detlint:allow(<rule>) <why>` annotation on the same or the
+//! preceding line.
+//!
+//! | ID | Invariant |
+//! |----|-----------|
+//! | D1 | no `Instant`/`SystemTime` outside `sim-core/src/clock.rs` |
+//! | D2 | no `thread_rng`/`rand::random`/`from_entropy` outside `sim-core/src/rng.rs` |
+//! | D3 | no hash-ordered collections (`HashMap`/`HashSet`) in simulation crates |
+//! | D4 | no `==`/`!=` against float literals |
+//! | S1 | crate roots carry the workspace lint header block |
+//! | S2 | no `unwrap`/`expect`/`panic!` family in per-event hot paths |
+//! | A1 | `detlint:allow` annotations must name rules and a justification |
+
+use crate::config::Config;
+use crate::lexer::{lex, Lexed, Token, TokenKind};
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// File, relative to the scan root, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Rule ID (`D1` … `S2`, `A1`).
+    pub rule: &'static str,
+    /// What was found.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// How to fix it.
+    pub hint: &'static str,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}\n    | {}\n    = hint: {}",
+            self.file, self.line, self.col, self.rule, self.message, self.snippet, self.hint
+        )
+    }
+}
+
+/// Checks one file's source text against every enabled rule.
+pub fn check_file(cfg: &Config, rel_path: &str, source: &str) -> Vec<Finding> {
+    let lexed = lex(source);
+    let test_regions = test_regions(&lexed.tokens);
+    let lines: Vec<&str> = source.lines().collect();
+    let snippet = |line: u32| -> String {
+        lines
+            .get(line as usize - 1)
+            .map(|l| l.trim().to_owned())
+            .unwrap_or_default()
+    };
+    let enabled = |rule: &str| !cfg.disabled.iter().any(|d| d == rule);
+    let in_test = |idx: usize| test_regions.iter().any(|&(lo, hi)| idx >= lo && idx <= hi);
+
+    let mut raw: Vec<Finding> = Vec::new();
+    let toks = &lexed.tokens;
+
+    let exempt = |list: &[String]| list.iter().any(|p| p == rel_path);
+
+    for (i, t) in toks.iter().enumerate() {
+        // D1 — wall-clock types anywhere outside the simulated clock.
+        if enabled("D1")
+            && t.kind == TokenKind::Ident
+            && (t.text == "Instant" || t.text == "SystemTime")
+            && !exempt(&cfg.d1_exempt)
+        {
+            raw.push(Finding {
+                file: rel_path.to_owned(),
+                line: t.line,
+                col: t.col,
+                rule: "D1",
+                message: format!("wall-clock type `{}` outside sim-core's clock", t.text),
+                snippet: snippet(t.line),
+                hint: "route time through sim_core::SimTime / NodeClock so runs replay identically",
+            });
+        }
+
+        // D2 — ambient randomness outside the seeded SimRng.
+        if enabled("D2") && t.kind == TokenKind::Ident && !exempt(&cfg.d2_exempt) {
+            let ambient = t.text == "thread_rng"
+                || t.text == "from_entropy"
+                || (t.text == "rand"
+                    && matches!(toks.get(i + 1), Some(p) if p.is_punct("::"))
+                    && matches!(toks.get(i + 2), Some(n) if n.is_ident("random")));
+            if ambient {
+                raw.push(Finding {
+                    file: rel_path.to_owned(),
+                    line: t.line,
+                    col: t.col,
+                    rule: "D2",
+                    message: format!(
+                        "ambient RNG `{}`: randomness must flow from the run seed",
+                        t.text
+                    ),
+                    snippet: snippet(t.line),
+                    hint: "draw from a sim_core::SimRng forked from the scenario seed",
+                });
+            }
+        }
+
+        // D3 — hash-ordered collections in simulation crates. Lexical
+        // analysis cannot prove a given map is never iterated, so the
+        // rule bans the types outright in simulation state; a justified
+        // detlint:allow(D3) marks the (rare) legitimate uses.
+        if enabled("D3")
+            && t.kind == TokenKind::Ident
+            && matches!(
+                t.text.as_str(),
+                "HashMap" | "HashSet" | "RandomState" | "DefaultHasher"
+            )
+            && in_d3_scope(cfg, rel_path)
+            && !in_test(i)
+        {
+            raw.push(Finding {
+                file: rel_path.to_owned(),
+                line: t.line,
+                col: t.col,
+                rule: "D3",
+                message: format!(
+                    "`{}` in a simulation crate: iteration order depends on the process-random hasher",
+                    t.text
+                ),
+                snippet: snippet(t.line),
+                hint: "use BTreeMap/BTreeSet (key-ordered) or sort before iterating",
+            });
+        }
+
+        // D4 — float equality. Heuristic: an `==`/`!=` whose immediate
+        // neighbour token is a float literal.
+        if enabled("D4") && t.kind == TokenKind::Punct && (t.text == "==" || t.text == "!=") {
+            let prev_float = i > 0 && toks[i - 1].kind == TokenKind::Float;
+            let next_float = matches!(toks.get(i + 1), Some(n) if n.kind == TokenKind::Float);
+            if prev_float || next_float {
+                raw.push(Finding {
+                    file: rel_path.to_owned(),
+                    line: t.line,
+                    col: t.col,
+                    rule: "D4",
+                    message: format!("float `{}` comparison against a literal", t.text),
+                    snippet: snippet(t.line),
+                    hint: "compare with an epsilon (`(a - b).abs() < EPS`) or restructure to `<=`/`>=`",
+                });
+            }
+        }
+
+        // S2 — panicking constructs in per-event hot paths.
+        if enabled("S2")
+            && t.kind == TokenKind::Ident
+            && cfg.s2_paths.iter().any(|p| p == rel_path)
+            && !in_test(i)
+        {
+            let method_panic =
+                (t.text == "unwrap" || t.text == "expect") && i > 0 && toks[i - 1].is_punct(".");
+            let macro_panic = matches!(
+                t.text.as_str(),
+                "panic" | "unreachable" | "todo" | "unimplemented"
+            ) && matches!(toks.get(i + 1), Some(n) if n.is_punct("!"));
+            if method_panic || macro_panic {
+                raw.push(Finding {
+                    file: rel_path.to_owned(),
+                    line: t.line,
+                    col: t.col,
+                    rule: "S2",
+                    message: format!("`{}` in a per-event hot path", t.text),
+                    snippet: snippet(t.line),
+                    hint: "return a typed error; one malformed frame must not abort the simulation",
+                });
+            }
+        }
+    }
+
+    // S1 — crate-root lint headers.
+    if enabled("S1") {
+        if let Some(missing) = missing_crate_header(rel_path, toks) {
+            raw.push(Finding {
+                file: rel_path.to_owned(),
+                line: 1,
+                col: 1,
+                rule: "S1",
+                message: format!("crate root is missing lint header(s): {missing}"),
+                snippet: snippet(1),
+                hint: "add #![forbid(unsafe_code)], #![deny(rust_2018_idioms)] and #![warn(missing_docs)]",
+            });
+        }
+    }
+
+    apply_allows(cfg, rel_path, &lexed, raw, &snippet)
+}
+
+/// Whether `rel_path` is source of one of the configured simulation
+/// crates (`crates/<name>/src/...`).
+fn in_d3_scope(cfg: &Config, rel_path: &str) -> bool {
+    let mut parts = rel_path.split('/');
+    if parts.next() != Some("crates") {
+        return false;
+    }
+    match parts.next() {
+        Some(krate) => cfg.d3_crates.iter().any(|c| c == krate),
+        None => false,
+    }
+}
+
+/// For crate roots, returns a description of required-but-absent lint
+/// headers; `None` when the file is not a crate root or is compliant.
+fn missing_crate_header(rel_path: &str, toks: &[Token]) -> Option<String> {
+    let mut parts = rel_path.split('/');
+    let is_root = parts.next() == Some("crates")
+        && parts.next().is_some()
+        && parts.next() == Some("src")
+        && matches!(parts.next(), Some("lib.rs" | "main.rs"))
+        && parts.next().is_none();
+    if !is_root {
+        return None;
+    }
+    // Collect inner `#![level(lint, ...)]` attributes.
+    let mut have: Vec<(String, String)> = Vec::new(); // (level, lint)
+    let mut i = 0;
+    while i + 4 < toks.len() {
+        if toks[i].is_punct("#")
+            && toks[i + 1].is_punct("!")
+            && toks[i + 2].is_punct("[")
+            && toks[i + 3].kind == TokenKind::Ident
+            && matches!(toks[i + 3].text.as_str(), "forbid" | "deny" | "warn")
+            && toks[i + 4].is_punct("(")
+        {
+            let level = toks[i + 3].text.clone();
+            let mut j = i + 5;
+            while j < toks.len() && !toks[j].is_punct(")") {
+                if toks[j].kind == TokenKind::Ident {
+                    have.push((level.clone(), toks[j].text.clone()));
+                }
+                j += 1;
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    let level_of = |lint: &str| -> Option<&str> {
+        have.iter()
+            .find(|(_, l)| l == lint)
+            .map(|(level, _)| level.as_str())
+    };
+    let mut missing = Vec::new();
+    if level_of("unsafe_code") != Some("forbid") {
+        missing.push("#![forbid(unsafe_code)]");
+    }
+    if !matches!(level_of("rust_2018_idioms"), Some("deny" | "forbid")) {
+        missing.push("#![deny(rust_2018_idioms)]");
+    }
+    if level_of("missing_docs").is_none() {
+        missing.push("#![warn(missing_docs)]");
+    }
+    if missing.is_empty() {
+        None
+    } else {
+        Some(missing.join(", "))
+    }
+}
+
+/// Suppresses findings covered by a `detlint:allow` annotation on the
+/// same or preceding line, and reports malformed annotations (A1).
+fn apply_allows(
+    cfg: &Config,
+    rel_path: &str,
+    lexed: &Lexed,
+    raw: Vec<Finding>,
+    snippet: &dyn Fn(u32) -> String,
+) -> Vec<Finding> {
+    let mut out: Vec<Finding> = Vec::new();
+    for f in raw {
+        let allowed = lexed.allows.iter().any(|a| {
+            (a.line == f.line || a.line + 1 == f.line)
+                && a.rules.iter().any(|r| r == f.rule)
+                && !a.justification.is_empty()
+        });
+        if !allowed {
+            out.push(f);
+        }
+    }
+    if !cfg.disabled.iter().any(|d| d == "A1") {
+        for a in &lexed.allows {
+            if a.rules.is_empty() || a.justification.is_empty() {
+                out.push(Finding {
+                    file: rel_path.to_owned(),
+                    line: a.line,
+                    col: 1,
+                    rule: "A1",
+                    message: "malformed detlint:allow — needs rule ID(s) and a justification"
+                        .to_owned(),
+                    snippet: snippet(a.line),
+                    hint: "write `// detlint:allow(D3) <why this use is sound>`",
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    out
+}
+
+/// Token index ranges (inclusive) covered by `#[cfg(test)]` items.
+fn test_regions(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct("#") && toks.get(i + 1).is_some_and(|t| t.is_punct("[")) {
+            // Find the closing `]` of this attribute.
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            let mut saw_cfg_test = false;
+            let mut saw_cfg = false;
+            while j < toks.len() {
+                if toks[j].is_punct("[") {
+                    depth += 1;
+                } else if toks[j].is_punct("]") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if toks[j].is_ident("cfg") {
+                    saw_cfg = true;
+                } else if saw_cfg && toks[j].is_ident("test") {
+                    saw_cfg_test = true;
+                }
+                j += 1;
+            }
+            if saw_cfg_test && j < toks.len() {
+                if let Some((lo, hi)) = item_after_attributes(toks, j + 1) {
+                    regions.push((lo, hi));
+                    i = hi + 1;
+                    continue;
+                }
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// The token range of the item starting at `start`, skipping further
+/// attributes: to the matching `}` if a brace opens first, else to `;`.
+fn item_after_attributes(toks: &[Token], mut start: usize) -> Option<(usize, usize)> {
+    // Skip subsequent attributes (`#[...]`).
+    while toks.get(start)?.is_punct("#") && toks.get(start + 1)?.is_punct("[") {
+        let mut depth = 0usize;
+        let mut j = start + 1;
+        while j < toks.len() {
+            if toks[j].is_punct("[") {
+                depth += 1;
+            } else if toks[j].is_punct("]") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        start = j + 1;
+    }
+    let lo = start;
+    let mut k = start;
+    while k < toks.len() {
+        if toks[k].is_punct(";") {
+            return Some((lo, k));
+        }
+        if toks[k].is_punct("{") {
+            let mut depth = 0usize;
+            while k < toks.len() {
+                if toks[k].is_punct("{") {
+                    depth += 1;
+                } else if toks[k].is_punct("}") {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some((lo, k));
+                    }
+                }
+                k += 1;
+            }
+            return Some((lo, toks.len() - 1));
+        }
+        k += 1;
+    }
+    Some((lo, toks.len().saturating_sub(1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(path: &str, src: &str) -> Vec<Finding> {
+        check_file(&Config::default(), path, src)
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    // — D1 —
+
+    #[test]
+    fn d1_flags_instant_outside_clock() {
+        let f = check(
+            "crates/facilities/src/ca.rs",
+            "use std::time::Instant;\nfn t() { let s = Instant::now(); }",
+        );
+        assert!(rules_of(&f).contains(&"D1"));
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn d1_permits_clock_rs_and_strings() {
+        assert!(check("crates/sim-core/src/clock.rs", "use std::time::Instant;").is_empty());
+        assert!(check("crates/facilities/src/ca.rs", r#"let s = "Instant";"#).is_empty());
+    }
+
+    // — D2 —
+
+    #[test]
+    fn d2_flags_ambient_rng() {
+        let f = check("crates/facilities/src/ca.rs", "let x = rand::thread_rng();");
+        assert_eq!(rules_of(&f), vec!["D2"]);
+        let f = check("crates/core/src/metrics.rs", "let v: f64 = rand::random();");
+        assert_eq!(rules_of(&f), vec!["D2"]);
+        let f = check(
+            "crates/vehicle/src/pid.rs",
+            "let r = SmallRng::from_entropy();",
+        );
+        assert_eq!(rules_of(&f), vec!["D2"]);
+    }
+
+    #[test]
+    fn d2_permits_rng_rs_and_unrelated_random() {
+        assert!(check("crates/sim-core/src/rng.rs", "fn thread_rng() {}").is_empty());
+        // `random` not behind `rand::` is some other function.
+        assert!(check("crates/vehicle/src/pid.rs", "let x = random();").is_empty());
+    }
+
+    // — D3 —
+
+    #[test]
+    fn d3_flags_hash_collections_in_sim_crates() {
+        let f = check(
+            "crates/geonet/src/loctable.rs",
+            "use std::collections::HashMap;\nfn f(m: &HashMap<u32, u32>) { for k in m.keys() {} }",
+        );
+        assert_eq!(rules_of(&f), vec!["D3", "D3"]);
+        assert!(f[0].message.contains("iteration order"));
+    }
+
+    #[test]
+    fn d3_ignores_non_sim_crates_and_tests() {
+        assert!(check(
+            "crates/openc2x/src/http.rs",
+            "use std::collections::HashMap;"
+        )
+        .is_empty());
+        let src = "#[cfg(test)]\nmod tests {\n  fn t() { let s = std::collections::HashSet::new(); }\n}\n";
+        assert!(check("crates/perception/src/detector.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d3_allow_annotation_suppresses_with_justification() {
+        let src = "// detlint:allow(D3) single lookup table, never iterated\nuse std::collections::HashMap;\n";
+        assert!(check("crates/facilities/src/ldm.rs", src).is_empty());
+        // Same line works too.
+        let src = "use std::collections::HashMap; // detlint:allow(D3) never iterated\n";
+        assert!(check("crates/facilities/src/ldm.rs", src).is_empty());
+    }
+
+    #[test]
+    fn a1_flags_allow_without_justification() {
+        let src = "// detlint:allow(D3)\nuse std::collections::HashMap;\n";
+        let f = check("crates/facilities/src/ldm.rs", src);
+        assert_eq!(rules_of(&f), vec!["A1", "D3"]);
+    }
+
+    // — D4 —
+
+    #[test]
+    fn d4_flags_float_literal_equality() {
+        let f = check("crates/vehicle/src/pid.rs", "if speed == 0.0 { halt(); }");
+        assert_eq!(rules_of(&f), vec!["D4"]);
+        let f = check("crates/vehicle/src/pid.rs", "if 1.5 != x { nudge(); }");
+        assert_eq!(rules_of(&f), vec!["D4"]);
+    }
+
+    #[test]
+    fn d4_permits_integer_equality_and_ranges() {
+        assert!(check("crates/vehicle/src/pid.rs", "if n == 0 { stop(); }").is_empty());
+        assert!(check("crates/vehicle/src/pid.rs", "let r = 0.0..1.0;").is_empty());
+    }
+
+    // — S1 —
+
+    #[test]
+    fn s1_requires_header_block_on_crate_roots() {
+        let f = check("crates/vehicle/src/lib.rs", "//! Docs.\npub mod pid;\n");
+        assert_eq!(rules_of(&f), vec!["S1"]);
+        assert!(
+            f[0].message.contains("forbid(unsafe_code)") || f[0].message.contains("unsafe_code")
+        );
+    }
+
+    #[test]
+    fn s1_satisfied_by_full_header() {
+        let src = "//! Docs.\n#![forbid(unsafe_code)]\n#![deny(rust_2018_idioms)]\n#![warn(missing_docs)]\npub mod pid;\n";
+        assert!(check("crates/vehicle/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn s1_ignores_non_roots() {
+        assert!(check("crates/vehicle/src/pid.rs", "pub fn f() {}").is_empty());
+    }
+
+    // — S2 —
+
+    #[test]
+    fn s2_flags_panics_in_hot_paths_only() {
+        let src = "fn rx(b: &[u8]) { let h = parse(b).unwrap(); }";
+        assert_eq!(
+            rules_of(&check("crates/geonet/src/forwarding.rs", src)),
+            vec!["S2"]
+        );
+        // Same code in a non-hot-path file passes.
+        assert!(check("crates/geonet/src/area.rs", src).is_empty());
+    }
+
+    #[test]
+    fn s2_flags_macro_panics_but_not_tests() {
+        let src = "fn rx() { panic!(\"boom\"); }";
+        assert_eq!(rules_of(&check("crates/uper/src/bits.rs", src)), vec!["S2"]);
+        let src =
+            "#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { parse(b).unwrap(); panic!(); }\n}\n";
+        assert!(check("crates/uper/src/bits.rs", src).is_empty());
+    }
+
+    #[test]
+    fn s2_permits_unwrap_or_variants() {
+        let src =
+            "fn rx(x: Option<u8>) -> u8 { x.unwrap_or(0).saturating_add(x.unwrap_or_default()) }";
+        assert!(check("crates/uper/src/fields.rs", src).is_empty());
+    }
+
+    // — engine behaviour —
+
+    #[test]
+    fn disabled_rules_do_not_fire() {
+        let mut cfg = Config::default();
+        cfg.disabled.push("D4".into());
+        let f = check_file(&cfg, "crates/vehicle/src/pid.rs", "if speed == 0.0 {}");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn findings_are_sorted_by_position() {
+        let src = "fn rx() { b.unwrap();\n let c = a.expect(\"x\"); }";
+        let f = check("crates/uper/src/bits.rs", src);
+        assert_eq!(f.len(), 2);
+        assert!(f[0].line < f[1].line);
+    }
+
+    #[test]
+    fn finding_display_has_file_line_col_rule_and_hint() {
+        let f = &check("crates/vehicle/src/pid.rs", "if speed == 0.0 {}")[0];
+        let s = f.to_string();
+        assert!(s.contains("crates/vehicle/src/pid.rs:1:"));
+        assert!(s.contains("[D4]"));
+        assert!(s.contains("hint:"));
+    }
+}

@@ -17,7 +17,7 @@ use its_messages::common::{
 };
 use its_messages::denm::{Denm, ManagementContainer, SituationContainer, Termination};
 use sim_core::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// An application request to advertise an event (input to
 /// [`DenService::trigger`]).
@@ -108,7 +108,7 @@ pub struct DenService {
     next_sequence: u16,
     events: Vec<ActiveEvent>,
     /// Receiver-side table: latest `referenceTime` seen per action id.
-    received: HashMap<ActionId, TimestampIts>,
+    received: BTreeMap<ActionId, TimestampIts>,
 }
 
 impl DenService {
@@ -119,7 +119,7 @@ impl DenService {
             station_type,
             next_sequence: 0,
             events: Vec::new(),
-            received: HashMap::new(),
+            received: BTreeMap::new(),
         }
     }
 

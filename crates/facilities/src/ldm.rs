@@ -14,7 +14,7 @@ use its_messages::cam::Cam;
 use its_messages::common::{ActionId, ReferencePosition, StationId};
 use its_messages::denm::Denm;
 use sim_core::SimTime;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// An object perceived by the station's own sensors (the road-side
 /// camera), not learnt over the air.
@@ -61,9 +61,9 @@ struct Stamped<T> {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Ldm {
-    stations: HashMap<StationId, Stamped<Cam>>,
-    events: HashMap<ActionId, Stamped<Denm>>,
-    objects: HashMap<u32, Stamped<PerceivedObject>>,
+    stations: BTreeMap<StationId, Stamped<Cam>>,
+    events: BTreeMap<ActionId, Stamped<Denm>>,
+    objects: BTreeMap<u32, Stamped<PerceivedObject>>,
 }
 
 impl Ldm {

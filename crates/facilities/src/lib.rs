@@ -18,6 +18,7 @@
 //! from the discrete-event loop, so they compose with any scheduler.
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 pub mod ca;

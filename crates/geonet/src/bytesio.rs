@@ -51,7 +51,9 @@ impl<'a> ByteReader<'a> {
 
     pub(crate) fn u64(&mut self) -> Result<u64> {
         let b = self.take(8)?;
-        Ok(u64::from_be_bytes(b.try_into().expect("8 bytes")))
+        Ok(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 
     pub(crate) fn rest(&mut self) -> &'a [u8] {

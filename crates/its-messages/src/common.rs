@@ -496,7 +496,7 @@ impl Codec for Speed {
 
 /// `ActionID ::= SEQUENCE { originatingStationID, sequenceNumber }` —
 /// globally identifies a DENM event across updates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ActionId {
     /// Station that originated the event.
     pub originating_station: StationId,

@@ -9,14 +9,20 @@
 //!   an empty 200 means no DENM, otherwise the body carries the oldest
 //!   undelivered UPER-encoded DENM.
 //!
-//! State is shared behind [`parking_lot`] mutexes so the HTTP handler
-//! threads and the stack thread can touch it concurrently.
+//! State is shared behind mutexes so the HTTP handler threads and the
+//! stack thread can touch it concurrently. A poisoned lock (a handler
+//! thread panicked mid-update) degrades to serving the last-written
+//! state rather than cascading the panic.
 
 use crate::http::{HttpServer, Response, RunningServer};
 use its_messages::denm::Denm;
-use parking_lot::Mutex;
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Locks `m`, recovering the inner state if a previous holder panicked.
+fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Shared state of an OBU's application API.
 #[derive(Debug, Default)]
@@ -35,23 +41,23 @@ impl ObuApi {
 
     /// Called by the stack when a DENM arrives over the air.
     pub fn deliver(&self, denm: Denm) {
-        self.pending.lock().push_back(denm);
-        *self.received_total.lock() += 1;
+        locked(&self.pending).push_back(denm);
+        *locked(&self.received_total) += 1;
     }
 
     /// The `request_denm` semantics: pops the oldest pending DENM.
     pub fn take_pending(&self) -> Option<Denm> {
-        self.pending.lock().pop_front()
+        locked(&self.pending).pop_front()
     }
 
     /// DENMs currently waiting.
     pub fn pending_count(&self) -> usize {
-        self.pending.lock().len()
+        locked(&self.pending).len()
     }
 
     /// Total DENMs delivered to this API since start.
     pub fn received_total(&self) -> u64 {
-        *self.received_total.lock()
+        *locked(&self.received_total)
     }
 
     /// Serves the OBU HTTP API (`POST /request_denm`) on `addr`.
@@ -92,18 +98,18 @@ impl RsuApi {
 
     /// Enqueues a DENM for transmission (the `trigger_denm` semantics).
     pub fn trigger(&self, denm: Denm) {
-        self.outbox.lock().push_back(denm);
-        *self.triggered_total.lock() += 1;
+        locked(&self.outbox).push_back(denm);
+        *locked(&self.triggered_total) += 1;
     }
 
     /// Called by the stack: drains DENMs to put on the air.
     pub fn take_outbox(&self) -> Vec<Denm> {
-        self.outbox.lock().drain(..).collect()
+        locked(&self.outbox).drain(..).collect()
     }
 
     /// Trigger calls accepted since start.
     pub fn triggered_total(&self) -> u64 {
-        *self.triggered_total.lock()
+        *locked(&self.triggered_total)
     }
 
     /// Serves the RSU HTTP API (`POST /trigger_denm`, body = UPER DENM)
@@ -149,12 +155,12 @@ impl WebInterface {
     /// Publishes a fresh LDM snapshot (the stack calls this after LDM
     /// updates).
     pub fn publish(&self, snapshot: impl Into<String>) {
-        *self.snapshot.lock() = snapshot.into();
+        *locked(&self.snapshot) = snapshot.into();
     }
 
     /// The current snapshot.
     pub fn snapshot(&self) -> String {
-        self.snapshot.lock().clone()
+        locked(&self.snapshot).clone()
     }
 
     /// Serves `GET /ldm` on `addr`.

@@ -22,6 +22,7 @@
 //!   HTTP polling loop that dominates the paper's OBU→actuator interval.
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 pub mod api;

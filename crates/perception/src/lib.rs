@@ -19,6 +19,7 @@
 //!   crosses the Action Point.
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 pub mod camera;

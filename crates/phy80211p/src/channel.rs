@@ -63,6 +63,7 @@ impl Obstacle {
             (dy, self.max.y - a.y),
         ];
         for (p, q) in clips {
+            // detlint:allow(D4) Liang–Barsky needs the exact zero-denominator case
             if p == 0.0 {
                 if q < 0.0 {
                     return false; // parallel and outside

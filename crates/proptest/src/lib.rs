@@ -1,0 +1,210 @@
+//! A small, deterministic, dependency-free stand-in for the `proptest`
+//! property-testing crate.
+//!
+//! The testbed workspace must build and test in fully offline
+//! environments (no crates.io index), so this crate re-implements the
+//! narrow slice of the `proptest` API the workspace's property tests
+//! actually use:
+//!
+//! * the [`proptest!`] macro with `ident in strategy` bindings,
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`] /
+//!   [`prop_assume!`],
+//! * range strategies (`0u64..100`, `-1i8..=14`, `0.0f64..1.0`),
+//! * [`strategy::Any`] via `any::<T>()` for primitive types,
+//! * [`collection::vec`], [`option::of`], tuple strategies and
+//!   [`strategy::Just`].
+//!
+//! Unlike upstream proptest, case generation here is *deterministic by
+//! construction*: every test draws its inputs from a splitmix64 stream
+//! seeded only by the case index, so a failing case reproduces on every
+//! run and on every machine — the same reproducibility contract the rest
+//! of the testbed enforces (see `crates/detlint`). There is no shrinking;
+//! the failing values are printed instead.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `vec`-building strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use crate::strategy::{SizeBound, Strategy, VecStrategy};
+
+    /// A strategy producing `Vec<S::Value>` with a length drawn from
+    /// `size` and elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeBound>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// `Option`-building strategies, mirroring `proptest::option`.
+pub mod option {
+    use crate::strategy::{OptionStrategy, Strategy};
+
+    /// A strategy producing `None` roughly a quarter of the time and
+    /// `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// The common imports property tests bring into scope.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: `proptest! { #[test] fn name(x in strat) { … } }`.
+///
+/// Each generated `#[test]` runs [`test_runner::CASES`] deterministic
+/// cases; the body may use the `prop_assert*` macros, which abort only
+/// the failing case with a diagnostic that includes the drawn values.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    ($(#[$meta:meta])* fn $name:ident($($var:ident in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            for __case in 0..$crate::test_runner::cases() {
+                let mut __rng = $crate::test_runner::TestRng::for_case(__case);
+                $(let $var = $crate::strategy::Strategy::sample(&$strat, &mut __rng);)+
+                let __outcome = {
+                    $(let $var = ::core::clone::Clone::clone(&$var);)+
+                    (move || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        Ok(())
+                    })()
+                };
+                match __outcome {
+                    Ok(()) => {}
+                    Err(e) if e.is_rejection() => continue,
+                    Err(e) => panic!(
+                        "property failed at case {}/{}: {}\n  inputs: {}",
+                        __case,
+                        $crate::test_runner::cases(),
+                        e,
+                        {
+                            let mut __s = ::std::string::String::new();
+                            $(__s.push_str(&format!("{} = {:?}; ", stringify!($var), $var));)+
+                            __s
+                        }
+                    ),
+                }
+            }
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case
+/// (not the whole process) with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Asserts two expressions differ inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, $($fmt)*);
+    }};
+}
+
+/// Skips the current case when its inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in -4i8..=4, f in 0.5f64..2.5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-4..=4).contains(&y));
+            prop_assert!((0.5..2.5).contains(&f));
+        }
+
+        #[test]
+        fn vec_respects_size_and_elements(v in crate::collection::vec(any::<u8>(), 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+        }
+
+        #[test]
+        fn option_of_produces_both(o in crate::option::of(1u32..5)) {
+            if let Some(x) = o {
+                prop_assert!((1..5).contains(&x));
+            }
+        }
+
+        #[test]
+        fn tuples_sample_componentwise(t in (any::<u16>(), 0u32..=3)) {
+            prop_assert!(t.1 <= 3);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u64..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_across_runners() {
+        use crate::strategy::{any, Strategy};
+        let mut a = crate::test_runner::TestRng::for_case(7);
+        let mut b = crate::test_runner::TestRng::for_case(7);
+        for _ in 0..32 {
+            assert_eq!(any::<u64>().sample(&mut a), any::<u64>().sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Deterministic case scheduling for [`proptest!`](crate::proptest).
+
+/// Default number of cases each property runs. Override with the
+/// `PROPTEST_CASES` environment variable.
+pub const CASES: u64 = 64;
+
+/// Number of cases to run, honouring `PROPTEST_CASES` when set.
+pub fn cases() -> u64 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => v.parse().unwrap_or(CASES),
+        Err(_) => CASES,
+    }
+}
+
+/// A splitmix64 stream seeded purely by the case index, so case `n` of
+/// any property draws the same inputs on every run and machine.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The generator for case `case`.
+    pub fn for_case(case: u64) -> Self {
+        // A fixed golden-ratio offset keeps case 0 away from the
+        // all-zeros state.
+        TestRng {
+            state: case.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03,
+        }
+    }
+
+    /// Next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next raw 128-bit value (two splitmix64 draws).
+    pub fn next_u128(&mut self) -> u128 {
+        (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64())
+    }
+
+    /// Uniform `f64` in `[0, 1]` (inclusive of both ends at the 53-bit
+    /// resolution used here).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64
+    }
+}
+
+/// Why a property case did not pass: a genuine failure (fails the test)
+/// or a rejected precondition from
+/// [`prop_assume!`](crate::prop_assume) (skips the case).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+    rejection: bool,
+}
+
+impl TestCaseError {
+    /// A failing case with a diagnostic message.
+    pub fn fail(message: String) -> Self {
+        TestCaseError {
+            message,
+            rejection: false,
+        }
+    }
+
+    /// A rejected (skipped) case.
+    pub fn reject() -> Self {
+        TestCaseError {
+            message: "precondition rejected".to_owned(),
+            rejection: true,
+        }
+    }
+
+    /// Whether this is a rejection rather than a failure.
+    pub fn is_rejection(&self) -> bool {
+        self.rejection
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}

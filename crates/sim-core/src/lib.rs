@@ -43,6 +43,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 mod clock;
@@ -53,6 +54,6 @@ mod trace;
 
 pub use clock::{NodeClock, NtpModel};
 pub use engine::{run, run_until_idle, EventHandler, EventQueue};
-pub use rng::SimRng;
+pub use rng::{RngCore, SimRng};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEvent};

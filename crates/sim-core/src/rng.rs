@@ -7,12 +7,24 @@
 //! consumer in one subsystem never perturbs another.
 //!
 //! The generator is xoshiro256++ with a splitmix64 seeding routine —
-//! implemented here (rather than relying on `StdRng`) so the byte-for-byte
-//! sequence is pinned by this crate and cannot change under a dependency
-//! upgrade. The `rand` crate's distributions are still usable through the
-//! [`rand::RngCore`] impl.
+//! implemented here (rather than relying on an external crate) so the
+//! byte-for-byte sequence is pinned by this crate and cannot change under
+//! a dependency upgrade. Generic consumers can abstract over the source
+//! through the local [`RngCore`] trait, which mirrors the `rand` crate's
+//! trait of the same name.
 
-use rand::RngCore;
+/// The core random-source interface, mirroring `rand::RngCore` so code
+/// written against that trait ports over unchanged. Defined locally
+/// because all randomness in the testbed must flow from [`SimRng`]
+/// (detlint rule D2) and the workspace builds without crates.io access.
+pub trait RngCore {
+    /// Next raw 32-bit value.
+    fn next_u32(&mut self) -> u32;
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
 
 /// Splitmix64 step, used for seeding and stream derivation.
 fn splitmix64(state: &mut u64) -> u64 {
@@ -32,7 +44,6 @@ fn splitmix64(state: &mut u64) -> u64 {
 /// let mut a = SimRng::seed_from(42);
 /// let mut b = SimRng::seed_from(42);
 /// assert_eq!(a.next_u64(), b.next_u64());
-/// use rand::RngCore;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
@@ -164,10 +175,6 @@ impl RngCore for SimRng {
             chunk.copy_from_slice(&v[..chunk.len()]);
         }
     }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
-    }
 }
 
 #[cfg(test)]
@@ -262,7 +269,7 @@ mod tests {
 
     #[test]
     fn fill_bytes_deterministic() {
-        use rand::RngCore as _;
+        use super::RngCore as _;
         let mut a = SimRng::seed_from(11);
         let mut b = SimRng::seed_from(11);
         let mut ba = [0u8; 13];

@@ -76,8 +76,9 @@ impl BitWriter {
             self.used = 0;
         }
         if bit {
-            let last = self.bytes.last_mut().expect("invariant: non-empty");
-            *last |= 1 << (7 - self.used);
+            if let Some(last) = self.bytes.last_mut() {
+                *last |= 1 << (7 - self.used);
+            }
         }
         self.used += 1;
     }

@@ -34,6 +34,7 @@
 //! [`its-messages`]: ../its_messages/index.html
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 mod bits;

@@ -124,7 +124,7 @@ impl LongitudinalModel {
         let v = self.speed_mps;
         let drive = u * p.max_drive_force_n;
         let resistive = if v > 0.0 {
-            let coast_drag = if u == 0.0 {
+            let coast_drag = if u <= 0.0 {
                 p.drivetrain_drag_n_per_mps * v
             } else {
                 0.0
@@ -135,7 +135,7 @@ impl LongitudinalModel {
         };
         let accel = (drive - resistive) / p.mass_kg;
         let mut v_next = v + accel * dt;
-        if u == 0.0 && v_next < 0.0 {
+        if u <= 0.0 && v_next < 0.0 {
             v_next = 0.0; // resistive forces cannot reverse the car
         }
         v_next = v_next.clamp(0.0, p.top_speed_mps);

@@ -20,6 +20,7 @@
 //!   in normal operation, stop override when a DENM arrives.
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 pub mod actuators;

@@ -100,7 +100,7 @@ fn segment_closest(a: (f64, f64), b: (f64, f64), p: (f64, f64)) -> (f64, f64) {
     let abx = b.0 - a.0;
     let aby = b.1 - a.1;
     let len2 = abx * abx + aby * aby;
-    if len2 == 0.0 {
+    if len2 <= 0.0 {
         return a;
     }
     let t = (((p.0 - a.0) * abx + (p.1 - a.1) * aby) / len2).clamp(0.0, 1.0);

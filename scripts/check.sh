@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full tier-1 gate: formatting, build, tests, and the detlint
+# determinism/safety invariants. CI and pre-push both run this.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test"
+cargo test -q
+
+echo "==> detlint"
+cargo run -q -p detlint
+
+echo "check.sh: all gates passed"

@@ -106,6 +106,55 @@ fn repetition_config_is_deterministic_too() {
 }
 
 #[test]
+fn ldm_queries_are_insertion_order_independent() {
+    // Regression test for the HashMap→BTreeMap migration: the LDM's
+    // tables iterate in key order, so two stations that learnt the same
+    // facts in a different order must answer queries identically. With
+    // hash-ordered tables this held only by accident of the per-process
+    // hasher seed.
+    use facilities::Ldm;
+    use its_messages::cam::Cam;
+    use its_messages::common::{ReferencePosition, StationId, StationType};
+    use sim_core::SimTime;
+
+    let cam = |id: u32, lat: f64| {
+        Cam::basic(
+            StationId::new(id).unwrap(),
+            0,
+            StationType::PassengerCar,
+            ReferencePosition::from_degrees(lat, -8.608),
+        )
+    };
+    // All stations within the query radius and at identical distance
+    // from the centre, so distance sorting cannot mask table ordering.
+    let ids = [9u32, 3, 27, 14, 1, 22, 6, 31, 18, 11];
+    let mut forward = Ldm::new();
+    for &id in &ids {
+        forward.insert_cam(SimTime::ZERO, cam(id, 41.178));
+    }
+    let mut reverse = Ldm::new();
+    for &id in ids.iter().rev() {
+        reverse.insert_cam(SimTime::ZERO, cam(id, 41.178));
+    }
+
+    let centre = ReferencePosition::from_degrees(41.178, -8.608);
+    let order = |ldm: &Ldm| -> Vec<u32> {
+        ldm.stations_within(&centre, 50.0)
+            .iter()
+            .map(|c| c.header.station_id.value())
+            .collect()
+    };
+    let a = order(&forward);
+    let b = order(&reverse);
+    assert_eq!(a.len(), ids.len());
+    assert_eq!(a, b, "LDM answers must not depend on insertion order");
+    // And the order is the deterministic key order, not luck.
+    let mut sorted = ids.to_vec();
+    sorted.sort_unstable();
+    assert_eq!(a, sorted);
+}
+
+#[test]
 fn config_differences_change_outcomes_not_determinism() {
     // Same seed, different action point: still deterministic per
     // configuration, but the configurations differ from each other.

@@ -1,0 +1,57 @@
+//! Tier-1 gate: the workspace must satisfy every detlint invariant.
+//!
+//! This makes `cargo test` alone sufficient to prove the determinism
+//! and safety rules hold — CI does not need a separate lint step (though
+//! `scripts/check.sh` also runs the CLI for human-readable output).
+
+use std::path::Path;
+
+/// The workspace root, two levels up from `crates/core` where this
+/// integration test is registered.
+fn workspace_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn workspace_has_no_detlint_findings() {
+    let root = workspace_root();
+    let cfg = detlint::Config::load(&root.join("detlint.toml")).expect("valid detlint.toml");
+    let report = detlint::run(&root, &cfg).expect("scan succeeds");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — scan roots misconfigured?",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report.findings.iter().map(ToString::to_string).collect();
+    assert!(
+        report.is_clean(),
+        "detlint found {} violation(s):\n\n{}",
+        report.findings.len(),
+        rendered.join("\n\n")
+    );
+}
+
+#[test]
+fn gate_actually_detects_planted_violations() {
+    // Guard against the gate rotting into a vacuous pass: plant each
+    // class of violation in a synthetic tree and require a finding.
+    let dir = std::env::temp_dir().join(format!("detlint-gate-{}", std::process::id()));
+    let src = dir.join("crates/geonet/src");
+    std::fs::create_dir_all(&src).unwrap();
+    std::fs::write(
+        src.join("loctable.rs"),
+        "use std::collections::HashMap;\nfn f() { let t = std::time::Instant::now(); let r = rand::thread_rng(); }\n",
+    )
+    .unwrap();
+    let report = detlint::run(&dir, &detlint::Config::default()).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+
+    let rules: Vec<&str> = report.findings.iter().map(|f| f.rule).collect();
+    assert!(rules.contains(&"D1"), "missing D1 in {rules:?}");
+    assert!(rules.contains(&"D2"), "missing D2 in {rules:?}");
+    assert!(rules.contains(&"D3"), "missing D3 in {rules:?}");
+    for f in &report.findings {
+        assert_eq!(f.file, "crates/geonet/src/loctable.rs");
+        assert!(f.line >= 1 && f.col >= 1);
+    }
+}

@@ -54,7 +54,7 @@ fn fig11_edf_statements_hold_at_scale() {
     assert!(f.edf.min() > 15.0, "min {} ms", f.edf.min());
     // The EDF is a proper distribution function.
     let pts = f.edf.step_points();
-    assert!(pts.last().unwrap().1 == 1.0);
+    assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
     let mut prev = 0.0;
     for (_, p) in pts {
         assert!(p >= prev);

@@ -1,32 +1,41 @@
 //! Ablation benches for the design choices DESIGN.md calls out: prints
 //! the parameter-sweep tables and measures the sweep machinery.
 
-use bench::base_config;
+use bench::{base_config, campaign_runner};
 use criterion::{criterion_group, criterion_main, Criterion};
-use its_testbed::ablation::{sweep_action_point, sweep_camera_fps, sweep_poll_period};
+use its_testbed::ablation::{sweep_action_point_on, sweep_camera_fps_on, sweep_poll_period_on};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
+    let runner = campaign_runner();
+    println!("\ncampaign runner: {} worker thread(s)", runner.threads());
     println!("\n== polling period ablation ==");
     println!(
         "{}",
-        sweep_poll_period(&base_config(), &[10, 50, 200], 10).render()
+        sweep_poll_period_on(&runner, &base_config(), &[10, 50, 200], 10).render()
     );
     println!("== camera FPS ablation ==");
     println!(
         "{}",
-        sweep_camera_fps(&base_config(), &[2.0, 4.0, 8.0], 10).render()
+        sweep_camera_fps_on(&runner, &base_config(), &[2.0, 4.0, 8.0], 10).render()
     );
     println!("== action point ablation ==");
     println!(
         "{}",
-        sweep_action_point(&base_config(), &[1.0, 1.52, 2.2], 10).render()
+        sweep_action_point_on(&runner, &base_config(), &[1.0, 1.52, 2.2], 10).render()
     );
 
     let mut group = c.benchmark_group("ablation");
     group.sample_size(10);
     group.bench_function("poll_period_sweep_3x4", |b| {
-        b.iter(|| black_box(sweep_poll_period(&base_config(), &[10, 50, 200], 4)))
+        b.iter(|| {
+            black_box(sweep_poll_period_on(
+                &runner,
+                &base_config(),
+                &[10, 50, 200],
+                4,
+            ))
+        })
     });
     group.finish();
 }

@@ -6,23 +6,26 @@
 //! over 802.11p and over three cellular profiles, comparing Table II's
 //! intervals per interface.
 
-use bench::base_config;
+use bench::{base_config, campaign_runner};
 use criterion::{criterion_group, criterion_main, Criterion};
 use its_testbed::metrics::mean;
 use its_testbed::scenario::{DenmLink, Scenario, ScenarioConfig};
 use phy80211p::cellular::CellularProfile;
+use runner::Runner;
 use std::hint::black_box;
 
-fn campaign(link: DenmLink, runs: usize) -> (Vec<f64>, Vec<f64>) {
-    let mut hop = Vec::new();
-    let mut total = Vec::new();
-    for i in 0..runs {
-        let r = Scenario::new(ScenarioConfig {
+fn campaign(runner: &Runner, link: DenmLink, runs: usize) -> (Vec<f64>, Vec<f64>) {
+    let records = runner.run(runs, |i| {
+        Scenario::new(ScenarioConfig {
             seed: 3000 + i as u64,
             denm_link: link,
             ..base_config()
         })
-        .run();
+        .run()
+    });
+    let mut hop = Vec::new();
+    let mut total = Vec::new();
+    for r in &records {
         if let (Some(h), Some(t)) = (r.interval_3_4_ms(), r.total_delay_ms()) {
             hop.push(h as f64);
             total.push(t as f64);
@@ -32,6 +35,7 @@ fn campaign(link: DenmLink, runs: usize) -> (Vec<f64>, Vec<f64>) {
 }
 
 fn bench(c: &mut Criterion) {
+    let runner = campaign_runner();
     println!("\ndetection-to-action per access technology (30 runs each):");
     println!("  interface       RSU->OBU hop (ms)   total delay (ms)   <100ms");
     let cases = [
@@ -41,7 +45,7 @@ fn bench(c: &mut Criterion) {
         ("LTE Uu", DenmLink::Cellular(CellularProfile::lte_uu())),
     ];
     for (name, link) in cases {
-        let (hop, total) = campaign(link, 30);
+        let (hop, total) = campaign(&runner, link, 30);
         let all_under = total.iter().all(|&t| t < 100.0);
         println!(
             "  {name:<12}   {:>17.1}   {:>16.1}   {all_under}",

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 use its_testbed::scenario::ScenarioConfig;
+use runner::Runner;
 
 /// The base configuration used by every table/figure bench, seeded so
 /// that all benches report from the same simulated campaign.
@@ -18,6 +19,14 @@ pub fn base_config() -> ScenarioConfig {
         seed: 20230627,
         ..ScenarioConfig::default()
     }
+}
+
+/// The campaign runner every bench executes its Monte-Carlo loops on:
+/// worker count from `RUNNER_THREADS` or the machine. Thread count
+/// never changes the reported numbers (see DESIGN.md §8), only how fast
+/// they arrive.
+pub fn campaign_runner() -> Runner {
+    Runner::from_env()
 }
 
 /// Formats a mean/sd/min/max line for the bench reports.

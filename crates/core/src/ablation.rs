@@ -3,11 +3,21 @@
 //! Action Point placement, the approach speed, and NTP synchronisation
 //! quality. Each sweep runs a batch of scenarios per parameter value and
 //! reports the metrics that parameter actually moves.
+//!
+//! Every sweep executes on the deterministic parallel campaign runner
+//! (see `crates/runner` and DESIGN.md §8): the `(parameter, run)` grid
+//! is flattened into one job list indexed in row-major order, jobs run
+//! across worker threads with static chunked assignment, and results
+//! merge back in index order — so a [`SweepTable`] is bitwise identical
+//! for every thread count. The `sweep_*` entry points pick the worker
+//! count from `RUNNER_THREADS` (or the machine); the `sweep_*_on`
+//! variants take an explicit [`Runner`].
 
 use crate::metrics::{mean, variance};
 use crate::scenario::{Scenario, ScenarioConfig};
 use openc2x::node::PollingModel;
 use perception::camera::RoadSideCamera;
+use runner::Runner;
 use sim_core::{NtpModel, SimDuration};
 
 /// A rendered sweep: one row per parameter value, named metric columns.
@@ -54,15 +64,34 @@ impl SweepTable {
     }
 }
 
-fn campaign(cfg: &ScenarioConfig, runs: usize) -> Vec<crate::RunRecord> {
-    (0..runs)
-        .map(|i| {
-            Scenario::new(ScenarioConfig {
-                seed: cfg.seed + i as u64,
-                ..cfg.clone()
-            })
-            .run()
-        })
+/// Runs the `runs`-seed campaign for `cfg` on `runner`: run `i` uses
+/// seed `cfg.seed + i`, and the records come back in seed order
+/// regardless of the worker count.
+pub fn campaign_on(runner: &Runner, cfg: &ScenarioConfig, runs: usize) -> Vec<crate::RunRecord> {
+    runner.run(runs, |i| Scenario::run_seeded(cfg, i as u64))
+}
+
+/// The sweep core: flattens the `(parameter, run)` grid into a single
+/// row-major job list, executes it on `runner`, and folds each
+/// parameter's `runs` consecutive records into one table row.
+fn sweep_rows_on<P: Copy + Sync>(
+    runner: &Runner,
+    params: &[P],
+    runs: usize,
+    make_cfg: impl Fn(P) -> ScenarioConfig,
+    row: impl Fn(P, &[crate::RunRecord]) -> (f64, Vec<f64>),
+) -> Vec<(f64, Vec<f64>)> {
+    if runs == 0 {
+        return params.iter().map(|&p| row(p, &[])).collect();
+    }
+    let cfgs: Vec<ScenarioConfig> = params.iter().map(|&p| make_cfg(p)).collect();
+    let records = runner.run(params.len() * runs, |j| {
+        Scenario::run_seeded(&cfgs[j / runs], (j % runs) as u64)
+    });
+    params
+        .iter()
+        .zip(records.chunks(runs))
+        .map(|(&p, recs)| row(p, recs))
         .collect()
 }
 
@@ -81,25 +110,38 @@ fn completed_metric(
 /// Sweeps the vehicle's `request_denm` polling period: the dominant term
 /// of the #4→#5 interval.
 pub fn sweep_poll_period(base: &ScenarioConfig, periods_ms: &[u64], runs: usize) -> SweepTable {
-    let mut rows = Vec::new();
-    for &p in periods_ms {
-        let cfg = ScenarioConfig {
+    sweep_poll_period_on(&Runner::from_env(), base, periods_ms, runs)
+}
+
+/// [`sweep_poll_period`] on an explicit runner.
+pub fn sweep_poll_period_on(
+    runner: &Runner,
+    base: &ScenarioConfig,
+    periods_ms: &[u64],
+    runs: usize,
+) -> SweepTable {
+    let rows = sweep_rows_on(
+        runner,
+        periods_ms,
+        runs,
+        |p| ScenarioConfig {
             polling: PollingModel {
                 period: SimDuration::from_millis(p),
                 ..base.polling
             },
             ..base.clone()
-        };
-        let records = campaign(&cfg, runs);
-        rows.push((
-            p as f64,
-            vec![
-                completed_metric(&records, |r| r.interval_4_5_ms().map(|x| x as f64)),
-                completed_metric(&records, |r| r.total_delay_ms().map(|x| x as f64)),
-                completed_metric(&records, |r| r.braking_distance_m()),
-            ],
-        ));
-    }
+        },
+        |p, records| {
+            (
+                p as f64,
+                vec![
+                    completed_metric(records, |r| r.interval_4_5_ms().map(|x| x as f64)),
+                    completed_metric(records, |r| r.total_delay_ms().map(|x| x as f64)),
+                    completed_metric(records, |r| r.braking_distance_m()),
+                ],
+            )
+        },
+    );
     SweepTable {
         parameter: "poll period ms".to_owned(),
         columns: vec![
@@ -113,29 +155,45 @@ pub fn sweep_poll_period(base: &ScenarioConfig, periods_ms: &[u64], runs: usize)
 
 /// Sweeps the camera's processed frame rate: bounds the step-1→2 gap.
 pub fn sweep_camera_fps(base: &ScenarioConfig, fps_list: &[f64], runs: usize) -> SweepTable {
-    let mut rows = Vec::new();
-    for &fps in fps_list {
-        let cfg = ScenarioConfig {
+    sweep_camera_fps_on(&Runner::from_env(), base, fps_list, runs)
+}
+
+/// [`sweep_camera_fps`] on an explicit runner.
+pub fn sweep_camera_fps_on(
+    runner: &Runner,
+    base: &ScenarioConfig,
+    fps_list: &[f64],
+    runs: usize,
+) -> SweepTable {
+    let rows = sweep_rows_on(
+        runner,
+        fps_list,
+        runs,
+        |fps| ScenarioConfig {
             camera: RoadSideCamera {
                 processed_fps: fps,
                 ..base.camera
             },
             ..base.clone()
-        };
-        let records = campaign(&cfg, runs);
-        let gap_1_2 = completed_metric(&records, |r| match (r.step1_crossing, r.step2_detection) {
-            (Some(s1), Some(s2)) => Some(s2.saturating_duration_since(s1).as_secs_f64() * 1000.0),
-            _ => None,
-        });
-        rows.push((
-            fps,
-            vec![
-                gap_1_2,
-                completed_metric(&records, |r| r.braking_distance_m()),
-                completed_metric(&records, |r| r.halt_distance_to_camera_m),
-            ],
-        ));
-    }
+        },
+        |fps, records| {
+            let gap_1_2 =
+                completed_metric(records, |r| match (r.step1_crossing, r.step2_detection) {
+                    (Some(s1), Some(s2)) => {
+                        Some(s2.saturating_duration_since(s1).as_secs_f64() * 1000.0)
+                    }
+                    _ => None,
+                });
+            (
+                fps,
+                vec![
+                    gap_1_2,
+                    completed_metric(records, |r| r.braking_distance_m()),
+                    completed_metric(records, |r| r.halt_distance_to_camera_m),
+                ],
+            )
+        },
+    );
     SweepTable {
         parameter: "camera FPS".to_owned(),
         columns: vec![
@@ -150,22 +208,35 @@ pub fn sweep_camera_fps(base: &ScenarioConfig, fps_list: &[f64], runs: usize) ->
 /// Sweeps the Action Point placement: earlier warnings leave more margin
 /// to the camera, later ones erode it.
 pub fn sweep_action_point(base: &ScenarioConfig, points_m: &[f64], runs: usize) -> SweepTable {
-    let mut rows = Vec::new();
-    for &ap in points_m {
-        let cfg = ScenarioConfig {
+    sweep_action_point_on(&Runner::from_env(), base, points_m, runs)
+}
+
+/// [`sweep_action_point`] on an explicit runner.
+pub fn sweep_action_point_on(
+    runner: &Runner,
+    base: &ScenarioConfig,
+    points_m: &[f64],
+    runs: usize,
+) -> SweepTable {
+    let rows = sweep_rows_on(
+        runner,
+        points_m,
+        runs,
+        |ap| ScenarioConfig {
             action_point_m: ap,
             ..base.clone()
-        };
-        let records = campaign(&cfg, runs);
-        rows.push((
-            ap,
-            vec![
-                completed_metric(&records, |r| r.detection_distance_m),
-                completed_metric(&records, |r| r.braking_distance_m()),
-                completed_metric(&records, |r| r.halt_distance_to_camera_m),
-            ],
-        ));
-    }
+        },
+        |ap, records| {
+            (
+                ap,
+                vec![
+                    completed_metric(records, |r| r.detection_distance_m),
+                    completed_metric(records, |r| r.braking_distance_m()),
+                    completed_metric(records, |r| r.halt_distance_to_camera_m),
+                ],
+            )
+        },
+    );
     SweepTable {
         parameter: "action point m".to_owned(),
         columns: vec![
@@ -180,27 +251,42 @@ pub fn sweep_action_point(base: &ScenarioConfig, points_m: &[f64], runs: usize) 
 /// Sweeps the approach speed: braking distance grows superlinearly,
 /// eventually eating the margin.
 pub fn sweep_speed(base: &ScenarioConfig, speeds_mps: &[f64], runs: usize) -> SweepTable {
-    let mut rows = Vec::new();
-    for &v in speeds_mps {
-        // Throttle that balances rolling + aero resistance at speed v for
-        // the default parameters (drive = rr·m·g + c₂·v²).
-        let throttle = ((0.08 * 3.2 * 9.81 + 0.02 * v * v) / 12.0).min(1.0);
-        let cfg = ScenarioConfig {
-            cruise_speed_mps: v,
-            cruise_throttle: throttle,
-            start_distance_m: (4.0f64).max(3.0 * v),
-            ..base.clone()
-        };
-        let records = campaign(&cfg, runs);
-        rows.push((
-            v,
-            vec![
-                completed_metric(&records, |r| r.total_delay_ms().map(|x| x as f64)),
-                completed_metric(&records, |r| r.braking_distance_m()),
-                completed_metric(&records, |r| r.halt_distance_to_camera_m),
-            ],
-        ));
-    }
+    sweep_speed_on(&Runner::from_env(), base, speeds_mps, runs)
+}
+
+/// [`sweep_speed`] on an explicit runner.
+pub fn sweep_speed_on(
+    runner: &Runner,
+    base: &ScenarioConfig,
+    speeds_mps: &[f64],
+    runs: usize,
+) -> SweepTable {
+    let rows = sweep_rows_on(
+        runner,
+        speeds_mps,
+        runs,
+        |v| {
+            // Throttle that balances rolling + aero resistance at speed v
+            // for the default parameters (drive = rr·m·g + c₂·v²).
+            let throttle = ((0.08 * 3.2 * 9.81 + 0.02 * v * v) / 12.0).min(1.0);
+            ScenarioConfig {
+                cruise_speed_mps: v,
+                cruise_throttle: throttle,
+                start_distance_m: (4.0f64).max(3.0 * v),
+                ..base.clone()
+            }
+        },
+        |v, records| {
+            (
+                v,
+                vec![
+                    completed_metric(records, |r| r.total_delay_ms().map(|x| x as f64)),
+                    completed_metric(records, |r| r.braking_distance_m()),
+                    completed_metric(records, |r| r.halt_distance_to_camera_m),
+                ],
+            )
+        },
+    );
     SweepTable {
         parameter: "speed m/s".to_owned(),
         columns: vec![
@@ -215,37 +301,50 @@ pub fn sweep_speed(base: &ScenarioConfig, speeds_mps: &[f64], runs: usize) -> Sw
 /// Sweeps NTP synchronisation quality: measured (cross-clock) interval
 /// variance grows with the offset spread while true latency is unchanged.
 pub fn sweep_ntp_quality(base: &ScenarioConfig, offset_std_us: &[f64], runs: usize) -> SweepTable {
-    let mut rows = Vec::new();
-    for &std_us in offset_std_us {
-        let cfg = ScenarioConfig {
+    sweep_ntp_quality_on(&Runner::from_env(), base, offset_std_us, runs)
+}
+
+/// [`sweep_ntp_quality`] on an explicit runner.
+pub fn sweep_ntp_quality_on(
+    runner: &Runner,
+    base: &ScenarioConfig,
+    offset_std_us: &[f64],
+    runs: usize,
+) -> SweepTable {
+    let rows = sweep_rows_on(
+        runner,
+        offset_std_us,
+        runs,
+        |std_us| ScenarioConfig {
             ntp: NtpModel {
                 offset_std_us: std_us,
                 offset_cap_us: 4.0 * std_us + 1.0,
                 drift_std_ppm: base.ntp.drift_std_ppm,
             },
             ..base.clone()
-        };
-        let records = campaign(&cfg, runs);
-        let hops: Vec<f64> = records
-            .iter()
-            .filter_map(|r| r.interval_3_4_ms().map(|x| x as f64))
-            .collect();
-        rows.push((
-            std_us,
-            vec![
-                if hops.is_empty() {
-                    f64::NAN
-                } else {
-                    mean(&hops)
-                },
-                if hops.is_empty() {
-                    f64::NAN
-                } else {
-                    variance(&hops)
-                },
-            ],
-        ));
-    }
+        },
+        |std_us, records| {
+            let hops: Vec<f64> = records
+                .iter()
+                .filter_map(|r| r.interval_3_4_ms().map(|x| x as f64))
+                .collect();
+            (
+                std_us,
+                vec![
+                    if hops.is_empty() {
+                        f64::NAN
+                    } else {
+                        mean(&hops)
+                    },
+                    if hops.is_empty() {
+                        f64::NAN
+                    } else {
+                        variance(&hops)
+                    },
+                ],
+            )
+        },
+    );
     SweepTable {
         parameter: "ntp offset µs".to_owned(),
         columns: vec!["#3->#4 mean (ms)".to_owned(), "#3->#4 var".to_owned()],
@@ -257,25 +356,40 @@ pub fn sweep_ntp_quality(base: &ScenarioConfig, offset_std_us: &[f64], runs: usi
 /// collapse below the link budget (§IV-C's call to "properly model
 /// attenuation" — here the knob is on the transmitter instead).
 pub fn sweep_tx_power(base: &ScenarioConfig, dbm_values: &[f64], runs: usize) -> SweepTable {
-    let mut rows = Vec::new();
-    for &dbm in dbm_values {
-        let mut channel = base.channel.clone();
-        channel.tx_power_dbm = dbm;
-        let cfg = ScenarioConfig {
-            channel,
-            ..base.clone()
-        };
-        let records = campaign(&cfg, runs);
-        let delivered = records.iter().filter(|r| r.denm_delivered).count();
-        let completed = records.iter().filter(|r| r.completed()).count();
-        rows.push((
-            dbm,
-            vec![
-                delivered as f64 / runs as f64,
-                completed as f64 / runs as f64,
-            ],
-        ));
-    }
+    sweep_tx_power_on(&Runner::from_env(), base, dbm_values, runs)
+}
+
+/// [`sweep_tx_power`] on an explicit runner.
+pub fn sweep_tx_power_on(
+    runner: &Runner,
+    base: &ScenarioConfig,
+    dbm_values: &[f64],
+    runs: usize,
+) -> SweepTable {
+    let rows = sweep_rows_on(
+        runner,
+        dbm_values,
+        runs,
+        |dbm| {
+            let mut channel = base.channel.clone();
+            channel.tx_power_dbm = dbm;
+            ScenarioConfig {
+                channel,
+                ..base.clone()
+            }
+        },
+        |dbm, records| {
+            let delivered = records.iter().filter(|r| r.denm_delivered).count();
+            let completed = records.iter().filter(|r| r.completed()).count();
+            (
+                dbm,
+                vec![
+                    delivered as f64 / runs as f64,
+                    completed as f64 / runs as f64,
+                ],
+            )
+        },
+    );
     SweepTable {
         parameter: "tx power dBm".to_owned(),
         columns: vec!["DENM delivery".to_owned(), "stop completed".to_owned()],
@@ -286,21 +400,36 @@ pub fn sweep_tx_power(base: &ScenarioConfig, dbm_values: &[f64], runs: usize) ->
 /// Sweeps the log-normal shadowing σ: heavier fading widens the delivery
 /// distribution without moving the mean link budget.
 pub fn sweep_shadowing(base: &ScenarioConfig, sigma_db: &[f64], runs: usize) -> SweepTable {
-    let mut rows = Vec::new();
-    for &sigma in sigma_db {
-        let mut channel = base.channel.clone();
-        channel.shadowing_sigma_db = sigma;
-        // Put the link near its margin so shadowing matters: a weak
-        // transmitter at lab distances.
-        channel.tx_power_dbm = -32.0;
-        let cfg = ScenarioConfig {
-            channel,
-            ..base.clone()
-        };
-        let records = campaign(&cfg, runs);
-        let delivered = records.iter().filter(|r| r.denm_delivered).count();
-        rows.push((sigma, vec![delivered as f64 / runs as f64]));
-    }
+    sweep_shadowing_on(&Runner::from_env(), base, sigma_db, runs)
+}
+
+/// [`sweep_shadowing`] on an explicit runner.
+pub fn sweep_shadowing_on(
+    runner: &Runner,
+    base: &ScenarioConfig,
+    sigma_db: &[f64],
+    runs: usize,
+) -> SweepTable {
+    let rows = sweep_rows_on(
+        runner,
+        sigma_db,
+        runs,
+        |sigma| {
+            let mut channel = base.channel.clone();
+            channel.shadowing_sigma_db = sigma;
+            // Put the link near its margin so shadowing matters: a weak
+            // transmitter at lab distances.
+            channel.tx_power_dbm = -32.0;
+            ScenarioConfig {
+                channel,
+                ..base.clone()
+            }
+        },
+        |sigma, records| {
+            let delivered = records.iter().filter(|r| r.denm_delivered).count();
+            (sigma, vec![delivered as f64 / runs as f64])
+        },
+    );
     SweepTable {
         parameter: "shadowing σ dB".to_owned(),
         columns: vec!["DENM delivery".to_owned()],
@@ -382,6 +511,23 @@ mod tests {
         // or at least different.
         assert!(delivery[0] <= 0.0 || delivery[0] >= 1.0, "{delivery:?}");
         assert_ne!(delivery[0], delivery[1], "{delivery:?}");
+    }
+
+    #[test]
+    fn campaign_on_matches_serial_seed_schedule() {
+        let cfg = base();
+        let parallel = campaign_on(&Runner::new(4), &cfg, 6);
+        for (i, record) in parallel.iter().enumerate() {
+            let serial = Scenario::run_seeded(&cfg, i as u64);
+            assert_eq!(record.trace.digest(), serial.trace.digest(), "run {i}");
+        }
+    }
+
+    #[test]
+    fn zero_runs_still_renders_rows() {
+        let t = sweep_poll_period(&base(), &[10, 50], 0);
+        assert_eq!(t.rows.len(), 2);
+        assert!(t.rows.iter().all(|(_, vals)| vals[0].is_nan()));
     }
 
     #[test]

@@ -147,14 +147,28 @@ fn busy_time_ns_take(acc: &mut u64) -> u64 {
     std::mem::take(acc)
 }
 
-/// Renders a station-count sweep as a table.
+/// Renders a station-count sweep as a table, one fleet per worker on
+/// the campaign runner picked from `RUNNER_THREADS`/the machine.
 pub fn sweep_station_count(base: &CongestionConfig, counts: &[usize]) -> String {
-    let mut out = String::from("stations   CAM rate (Hz/station)   mean CBR   worst DCC state\n");
-    for &n in counts {
-        let record = run_congestion(&CongestionConfig {
-            n_stations: n,
+    sweep_station_count_on(&runner::Runner::from_env(), base, counts)
+}
+
+/// [`sweep_station_count`] on an explicit runner. Each station count is
+/// an independent seeded simulation; rows render in `counts` order, so
+/// the table is identical for every thread count.
+pub fn sweep_station_count_on(
+    runner: &runner::Runner,
+    base: &CongestionConfig,
+    counts: &[usize],
+) -> String {
+    let records = runner.run(counts.len(), |i| {
+        run_congestion(&CongestionConfig {
+            n_stations: counts[i],
             ..base.clone()
-        });
+        })
+    });
+    let mut out = String::from("stations   CAM rate (Hz/station)   mean CBR   worst DCC state\n");
+    for (&n, record) in counts.iter().zip(&records) {
         out.push_str(&format!(
             "{n:>8}   {:>21.2}   {:>8.3}   {:?}\n",
             record.cam_rate_hz, record.mean_cbr, record.worst_dcc_state

@@ -13,6 +13,7 @@
 use crate::metrics::{mean, variance, Edf};
 use crate::scenario::{RunRecord, Scenario, ScenarioConfig};
 use its_messages::cause_codes::TABLE_I_ROWS;
+use runner::Runner;
 
 /// Paper's Table II per-run values, for side-by-side comparison.
 pub mod paper {
@@ -75,11 +76,26 @@ impl Table2 {
 
 /// Runs `runs` collision-avoidance scenarios and extracts Table II.
 ///
+/// The campaign executes on the parallel runner picked from
+/// `RUNNER_THREADS`/the machine; see [`table2_on`].
+///
 /// # Panics
 ///
 /// Panics if a run fails to complete the pipeline (should not happen at
 /// lab scale with default configuration).
 pub fn table2(base: &ScenarioConfig, runs: usize) -> Table2 {
+    table2_on(&Runner::from_env(), base, runs)
+}
+
+/// [`table2`] on an explicit runner. Run `i` uses seed `base.seed + i`
+/// and the per-run rows are extracted in seed order, so the table is
+/// bitwise identical for every thread count.
+///
+/// # Panics
+///
+/// Panics if a run fails to complete the pipeline.
+pub fn table2_on(runner: &Runner, base: &ScenarioConfig, runs: usize) -> Table2 {
+    let records = crate::ablation::campaign_on(runner, base, runs);
     let mut t = Table2 {
         interval_2_3: Vec::with_capacity(runs),
         interval_3_4: Vec::with_capacity(runs),
@@ -87,12 +103,7 @@ pub fn table2(base: &ScenarioConfig, runs: usize) -> Table2 {
         total: Vec::with_capacity(runs),
         records: Vec::with_capacity(runs),
     };
-    for i in 0..runs {
-        let record = Scenario::new(ScenarioConfig {
-            seed: base.seed + i as u64,
-            ..base.clone()
-        })
-        .run();
+    for (i, record) in records.into_iter().enumerate() {
         assert!(record.completed(), "run {i} did not complete");
         t.interval_2_3
             .push(record.interval_2_3_ms().expect("completed") as f64);
@@ -135,7 +146,12 @@ impl Fig11 {
 
 /// Runs the scenario `runs` times and builds the total-delay EDF.
 pub fn fig11(base: &ScenarioConfig, runs: usize) -> Fig11 {
-    let t = table2(base, runs);
+    fig11_on(&Runner::from_env(), base, runs)
+}
+
+/// [`fig11`] on an explicit runner.
+pub fn fig11_on(runner: &Runner, base: &ScenarioConfig, runs: usize) -> Fig11 {
+    let t = table2_on(runner, base, runs);
     Fig11 {
         edf: Edf::from_samples(t.total),
     }
@@ -173,15 +189,21 @@ impl Table3 {
 
 /// Runs `runs` scenarios and collects braking distances.
 pub fn table3(base: &ScenarioConfig, runs: usize) -> Table3 {
-    let mut braking = Vec::with_capacity(runs);
-    for i in 0..runs {
-        let record = Scenario::new(ScenarioConfig {
-            seed: base.seed + 1000 + i as u64,
-            ..base.clone()
-        })
-        .run();
-        braking.push(record.braking_distance_m().expect("completed run"));
-    }
+    table3_on(&Runner::from_env(), base, runs)
+}
+
+/// [`table3`] on an explicit runner. Run `i` keeps its historical seed
+/// `base.seed + 1000 + i`, so the table matches the serial campaign.
+///
+/// # Panics
+///
+/// Panics if a run fails to complete.
+pub fn table3_on(runner: &Runner, base: &ScenarioConfig, runs: usize) -> Table3 {
+    let braking = runner.run(runs, |i| {
+        Scenario::run_seeded(base, 1000 + i as u64)
+            .braking_distance_m()
+            .expect("completed run")
+    });
     Table3 { braking_m: braking }
 }
 

@@ -35,6 +35,13 @@
 //! ([`platoon`], the cellular comparison in
 //! [`scenario::DenmLink::Cellular`], and the blind-corner ablation in
 //! `benches`) implement the paper's §V future work.
+//!
+//! Campaigns (the `experiments` tables and every `ablation` sweep)
+//! execute on the deterministic parallel runner ([`Runner`], crate
+//! `runner`): seeded runs spread across worker threads with static
+//! chunked assignment and merge in seed order, so results are bitwise
+//! identical for any thread count. Set `RUNNER_THREADS` to override the
+//! worker count, or use the `*_on` variants with an explicit runner.
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
@@ -49,4 +56,5 @@ pub mod platoon;
 pub mod scaling;
 pub mod scenario;
 
+pub use runner::Runner;
 pub use scenario::{RunRecord, Scenario, ScenarioConfig};

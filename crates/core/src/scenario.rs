@@ -243,6 +243,16 @@ impl RunRecord {
     }
 }
 
+// The parallel campaign runner shares the base `ScenarioConfig` across
+// worker threads and moves each `RunRecord` back to the index-ordered
+// merge; pin those auto-trait bounds here so a future non-thread-safe
+// field fails at this definition, not at a distant runner call site.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ScenarioConfig>();
+    assert_send_sync::<RunRecord>();
+};
+
 /// Discrete events of the scenario (public because [`Scenario`]
 /// implements [`EventHandler`]; not constructible by users — runs are
 /// driven through [`Scenario::run`]).
@@ -400,6 +410,20 @@ impl Scenario {
             next_object_id: 1,
             config,
         }
+    }
+
+    /// Builds and runs the scenario whose seed is `base.seed + index`.
+    ///
+    /// This is the `Send`-safe per-job entry point the parallel campaign
+    /// runner executes: it takes the shared base configuration by
+    /// reference and every piece of run state lives on the worker's own
+    /// stack, so runs on different threads cannot interact.
+    pub fn run_seeded(base: &ScenarioConfig, index: u64) -> RunRecord {
+        Scenario::new(ScenarioConfig {
+            seed: base.seed + index,
+            ..base.clone()
+        })
+        .run()
     }
 
     /// Runs the scenario to completion (or timeout) and returns the

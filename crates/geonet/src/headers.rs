@@ -520,5 +520,67 @@ mod tests {
             let bytes = p.to_bytes();
             prop_assert_eq!(GnPacket::from_bytes(&bytes).unwrap(), p);
         }
+
+        #[test]
+        fn roundtrip_arbitrary_port_and_traffic_class(
+            port in any::<u16>(),
+            info in any::<u16>(),
+            scf in any::<bool>(),
+            dp in 0u8..=63,
+            hops in any::<u8>(),
+            lifetime_units in 0u16..=16383,
+            payload in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            // Beyond the CAM/DENM well-known ports: any 16-bit BTP port,
+            // port info, DCC profile, hop limit, and lifetime survive the
+            // wire intact.
+            let mut p = GnPacket::single_hop(
+                pv(),
+                TrafficClass { scf, dcc_profile: dp },
+                BtpPort(port),
+                payload,
+            );
+            p.btp.destination_port_info = info;
+            p.basic.remaining_hop_limit = hops;
+            p.basic.lifetime = Lifetime { fifty_ms_units: lifetime_units };
+            let back = GnPacket::from_bytes(&p.to_bytes()).unwrap();
+            prop_assert_eq!(back, p);
+        }
+
+        #[test]
+        fn wire_size_always_matches_encoding(
+            payload in proptest::collection::vec(any::<u8>(), 0..300),
+            gbc in any::<bool>(),
+        ) {
+            let p = if gbc {
+                GnPacket::geo_broadcast(
+                    pv(), 9, GeoArea::circle(41.0, -8.0, 50.0),
+                    TrafficClass::dp0(), BtpPort::DENM, payload)
+            } else {
+                GnPacket::single_hop(pv(), TrafficClass::dp2(), BtpPort::CAM, payload)
+            };
+            prop_assert_eq!(p.wire_size(), p.to_bytes().len());
+        }
+
+        #[test]
+        fn every_proper_prefix_errors_cleanly(
+            payload in proptest::collection::vec(any::<u8>(), 0..48),
+            gbc in any::<bool>(),
+        ) {
+            // The payload-length field makes any truncation detectable:
+            // every proper prefix of a valid packet decodes to Err, so a
+            // clipped frame can never masquerade as a shorter valid one.
+            let p = if gbc {
+                GnPacket::geo_broadcast(
+                    pv(), 3, GeoArea::circle(41.0, -8.0, 50.0),
+                    TrafficClass::dp0(), BtpPort::DENM, payload)
+            } else {
+                GnPacket::single_hop(pv(), TrafficClass::dp2(), BtpPort::CAM, payload)
+            };
+            let bytes = p.to_bytes();
+            for cut in 0..bytes.len() {
+                prop_assert!(GnPacket::from_bytes(&bytes[..cut]).is_err(), "cut {}", cut);
+            }
+        }
     }
 }

@@ -471,5 +471,38 @@ mod tests {
             let bytes = cam.to_bytes().unwrap();
             prop_assert_eq!(Cam::from_bytes(&bytes).unwrap(), cam);
         }
+
+        #[test]
+        fn cam_roundtrip_arbitrary_position(
+            station in 1u32..=4_294_967_295,
+            lat in -90.0f64..90.0,
+            lon in -180.0f64..180.0,
+        ) {
+            let cam = Cam::basic(
+                StationId::new(station).unwrap(),
+                0,
+                StationType::PassengerCar,
+                ReferencePosition::from_degrees(lat, lon),
+            );
+            let back = Cam::from_bytes(&cam.to_bytes().unwrap()).unwrap();
+            prop_assert_eq!(back, cam);
+        }
+
+        #[test]
+        fn truncated_valid_cam_errors_cleanly(cut_back in 1usize..40) {
+            // Every proper prefix of a valid encoding must yield a clean
+            // error — the decoder never reads past the buffer or panics.
+            let bytes = sample_cam().to_bytes().unwrap();
+            let cut = bytes.len().saturating_sub(cut_back);
+            prop_assert!(Cam::from_bytes(&bytes[..cut]).is_err());
+        }
+
+        #[test]
+        fn arbitrary_bytes_never_panic_the_cam_decoder(
+            bytes in proptest::collection::vec(any::<u8>(), 0..128)
+        ) {
+            // Robust reception: radio garbage produces Err, never a panic.
+            let _ = Cam::from_bytes(&bytes);
+        }
     }
 }

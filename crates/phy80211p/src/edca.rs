@@ -59,8 +59,8 @@ pub struct EdcaParams {
     pub aifsn: u8,
     /// Minimum contention window (slots − 1).
     pub cw_min: u16,
-    /// Maximum contention window (slots − 1). Unused for broadcast (no
-    /// retries) but kept for completeness.
+    /// Maximum contention window (slots − 1); the ceiling the
+    /// [`BackoffState`] doubling law converges to under repeated retries.
     pub cw_max: u16,
 }
 
@@ -198,9 +198,110 @@ impl EdcaMac {
     }
 }
 
+/// Per-frame contention-window state with the standard 802.11 binary
+/// exponential backoff law.
+///
+/// Broadcast ITS frames are sent exactly once, so [`EdcaMac`] never
+/// retries; this state machine models the unicast/retry side of EDCA for
+/// ablations of acknowledged hand-offs. Each failed attempt doubles the
+/// window (`cw' = min(2·cw + 1, CWmax)`) and a success resets it to
+/// CWmin; the drawn backoff is always within `[0, cw]` slots.
+///
+/// # Example
+///
+/// ```
+/// use phy80211p::edca::{AccessCategory, BackoffState};
+///
+/// let mut state = BackoffState::new(AccessCategory::Voice);
+/// assert_eq!(state.cw(), 3);
+/// state.on_retry();
+/// assert_eq!(state.cw(), 7); // 2·3 + 1, already at CWmax for AC_VO
+/// state.on_retry();
+/// assert_eq!(state.cw(), 7); // capped
+/// state.on_success();
+/// assert_eq!(state.cw(), 3); // reset
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffState {
+    params: EdcaParams,
+    cw: u16,
+    retries: u32,
+}
+
+impl BackoffState {
+    /// Fresh state for `ac` with the default OCB parameter set.
+    pub fn new(ac: AccessCategory) -> Self {
+        Self::with_params(EdcaParams::for_category(ac))
+    }
+
+    /// Fresh state for an explicit parameter set. The window starts at
+    /// `min(CWmin, CWmax)` so a degenerate set (`cw_min > cw_max`) still
+    /// respects the ceiling.
+    pub fn with_params(params: EdcaParams) -> Self {
+        Self {
+            params,
+            cw: params.cw_min.min(params.cw_max),
+            retries: 0,
+        }
+    }
+
+    /// The parameter set in effect.
+    pub fn params(&self) -> EdcaParams {
+        self.params
+    }
+
+    /// Current contention window (slots − 1).
+    pub fn cw(&self) -> u16 {
+        self.cw
+    }
+
+    /// Consecutive failed attempts since the last success.
+    pub fn retries(&self) -> u32 {
+        self.retries
+    }
+
+    /// Records a failed attempt: the window doubles (`2·cw + 1`) and
+    /// saturates at CWmax.
+    pub fn on_retry(&mut self) {
+        self.retries = self.retries.saturating_add(1);
+        self.cw = self
+            .cw
+            .saturating_mul(2)
+            .saturating_add(1)
+            .min(self.params.cw_max);
+    }
+
+    /// Records a delivered frame: the window resets to CWmin and the
+    /// retry counter clears.
+    pub fn on_success(&mut self) {
+        self.retries = 0;
+        self.cw = self.params.cw_min.min(self.params.cw_max);
+    }
+
+    /// Draws a uniform backoff in `[0, cw]` slots.
+    pub fn draw_slots(&self, rng: &mut SimRng) -> u16 {
+        // below(cw + 1) < cw + 1 ≤ 65_536, so the cast never truncates.
+        rng.below(u64::from(self.cw) + 1) as u16
+    }
+
+    /// The instant transmission may start for a frame ready at `now`,
+    /// with the backoff drawn from the *current* (retry-widened) window:
+    /// idle medium → `now + AIFS`; busy medium → idle instant + AIFS +
+    /// backoff.
+    pub fn access_time(&self, now: SimTime, medium: &Medium, rng: &mut SimRng) -> SimTime {
+        if !medium.is_busy(now) {
+            now + self.params.aifs()
+        } else {
+            let slots = u64::from(self.draw_slots(rng));
+            medium.idle_at(now) + self.params.aifs() + SimDuration::from_micros(slots * SLOT_US)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn parameter_table_matches_en302663() {
@@ -309,5 +410,109 @@ mod tests {
         assert_eq!(mac.params(AccessCategory::Voice).aifsn, 1);
         // Other categories unaffected.
         assert_eq!(mac.params(AccessCategory::Video).aifsn, 3);
+    }
+
+    #[test]
+    fn backoff_state_doubles_and_resets() {
+        for ac in AccessCategory::ALL {
+            let params = EdcaParams::for_category(ac);
+            let mut state = BackoffState::new(ac);
+            assert_eq!(state.cw(), params.cw_min);
+            let mut expected = u64::from(params.cw_min);
+            for retry in 1..=12u32 {
+                state.on_retry();
+                expected = (2 * expected + 1).min(u64::from(params.cw_max));
+                assert_eq!(u64::from(state.cw()), expected, "{ac:?} retry {retry}");
+                assert_eq!(state.retries(), retry);
+            }
+            assert_eq!(state.cw(), params.cw_max, "{ac:?} must reach CWmax");
+            state.on_success();
+            assert_eq!(state.cw(), params.cw_min);
+            assert_eq!(state.retries(), 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn backoff_never_exceeds_cw_bounds(
+            seed in any::<u64>(),
+            ac_idx in 0usize..4,
+            retries in 0u32..12,
+            draws in 1usize..16,
+        ) {
+            let ac = AccessCategory::ALL[ac_idx];
+            let params = EdcaParams::for_category(ac);
+            let mut state = BackoffState::new(ac);
+            for _ in 0..retries {
+                state.on_retry();
+            }
+            prop_assert!(state.cw() >= params.cw_min);
+            prop_assert!(state.cw() <= params.cw_max);
+            let mut rng = SimRng::seed_from(seed);
+            for _ in 0..draws {
+                let slots = state.draw_slots(&mut rng);
+                prop_assert!(slots <= state.cw(), "drew {slots} with cw {}", state.cw());
+            }
+        }
+
+        #[test]
+        fn cw_law_is_min_of_doubling_and_cap(retries in 0u32..20, ac_idx in 0usize..4) {
+            let ac = AccessCategory::ALL[ac_idx];
+            let params = EdcaParams::for_category(ac);
+            let mut state = BackoffState::new(ac);
+            for _ in 0..retries {
+                state.on_retry();
+            }
+            // Closed form: after k retries cw = min(2^k·(CWmin+1) − 1, CWmax).
+            let doubled = (u64::from(params.cw_min) + 1)
+                .saturating_mul(1u64 << retries.min(32))
+                .saturating_sub(1);
+            prop_assert_eq!(
+                u64::from(state.cw()),
+                doubled.min(u64::from(params.cw_max))
+            );
+        }
+
+        #[test]
+        fn aifs_ordering_holds_for_arbitrary_seeds(seed in any::<u64>(), now_us in 0u64..10_000_000) {
+            let mac = EdcaMac::new();
+            let medium = Medium::new();
+            let mut rng = SimRng::seed_from(seed);
+            let now = SimTime::from_micros(now_us);
+            // Idle medium: access time is deterministic (AIFS only), so the
+            // priority order Voice < Video < BestEffort < Background must
+            // hold whatever the RNG state.
+            let times: Vec<SimTime> = AccessCategory::ALL
+                .iter()
+                .map(|&ac| mac.access_time(now, ac, &medium, &mut rng))
+                .collect();
+            for pair in times.windows(2) {
+                prop_assert!(pair[0] < pair[1], "{times:?}");
+            }
+        }
+
+        #[test]
+        fn busy_medium_backoff_is_slot_aligned_within_window(
+            seed in any::<u64>(),
+            busy_us in 1u64..100_000,
+            retries in 0u32..8,
+            ac_idx in 0usize..4,
+        ) {
+            let ac = AccessCategory::ALL[ac_idx];
+            let mut state = BackoffState::new(ac);
+            for _ in 0..retries {
+                state.on_retry();
+            }
+            let mut medium = Medium::new();
+            medium.occupy(SimTime::from_micros(busy_us));
+            let mut rng = SimRng::seed_from(seed);
+            let start = state.access_time(SimTime::ZERO, &medium, &mut rng);
+            let after_idle = start.as_micros() - busy_us;
+            let aifs = state.params().aifs().as_micros();
+            prop_assert!(after_idle >= aifs);
+            let backoff = after_idle - aifs;
+            prop_assert_eq!(backoff % SLOT_US, 0, "backoff not slot-aligned: {}", backoff);
+            prop_assert!(backoff <= u64::from(state.cw()) * SLOT_US);
+        }
     }
 }

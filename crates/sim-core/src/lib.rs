@@ -57,3 +57,18 @@ pub use engine::{run, run_until_idle, EventHandler, EventQueue};
 pub use rng::{RngCore, SimRng};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEvent};
+
+// The DES substrate runs inside worker threads of the parallel campaign
+// runner (crates/runner): every building block of a simulation must be
+// `Send` so a whole seeded run can execute on a worker and its results
+// move back to the merging thread. Checked at compile time so a future
+// `Rc`/`RefCell` regression fails here with a named type.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<SimTime>();
+    assert_send::<SimDuration>();
+    assert_send::<SimRng>();
+    assert_send::<NodeClock>();
+    assert_send::<Trace>();
+    assert_send::<EventQueue<()>>();
+};

@@ -284,5 +284,83 @@ mod tests {
                 prop_assert_eq!(r.read_bits(c).unwrap(), v);
             }
         }
+
+        #[test]
+        fn arbitrary_read_sequences_never_panic(
+            buf in proptest::collection::vec(any::<u8>(), 0..24),
+            ops in proptest::collection::vec(0u32..=64, 0..24),
+        ) {
+            // Reads over arbitrary buffers are total: each op either
+            // yields Ok (enough bits remained) or UnexpectedEnd — never a
+            // panic — and the position/remaining bookkeeping stays exact.
+            let mut r = BitReader::new(&buf);
+            for &count in &ops {
+                let before = r.remaining();
+                let pos = r.position();
+                prop_assert_eq!(pos + before, buf.len() * 8);
+                let enough = before >= count as usize;
+                match r.read_bits(count) {
+                    Ok(v) => {
+                        prop_assert!(enough, "Ok with only {before} bits for {count}");
+                        if count < 64 {
+                            prop_assert!(v < (1u64 << count));
+                        }
+                        prop_assert_eq!(r.position(), pos + count as usize);
+                    }
+                    Err(UperError::UnexpectedEnd { requested, remaining }) => {
+                        prop_assert!(!enough, "Err with {before} bits for {count}");
+                        prop_assert_eq!(requested, count as usize);
+                        prop_assert_eq!(remaining, before);
+                        // A failed read must not consume anything.
+                        prop_assert_eq!(r.position(), pos);
+                    }
+                    Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+                }
+            }
+        }
+
+        #[test]
+        fn read_bytes_errors_cleanly_when_short(
+            buf in proptest::collection::vec(any::<u8>(), 0..8),
+            skew in 0u32..8,
+            len in 0usize..12,
+        ) {
+            let mut r = BitReader::new(&buf);
+            let _ = r.read_bits(skew.min(buf.len() as u32 * 8));
+            let enough = r.remaining() >= len * 8;
+            match r.read_bytes(len) {
+                Ok(bytes) => {
+                    prop_assert!(enough);
+                    prop_assert_eq!(bytes.len(), len);
+                }
+                Err(UperError::UnexpectedEnd { .. }) => prop_assert!(!enough),
+                Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+            }
+        }
+
+        #[test]
+        fn interleaved_bool_bits_bytes_roundtrip(
+            flag in any::<bool>(),
+            word in any::<u64>(),
+            count in 1u32..=64,
+            payload in proptest::collection::vec(any::<u8>(), 0..16),
+        ) {
+            let masked = if count == 64 { word } else { word & ((1u64 << count) - 1) };
+            let mut w = BitWriter::new();
+            w.write_bool(flag);
+            w.write_bits(masked, count);
+            w.write_bytes(&payload);
+            let expected_bits = 1 + count as usize + payload.len() * 8;
+            prop_assert_eq!(w.bit_len(), expected_bits);
+            let bytes = w.finish();
+            // The writer never emits a fully-unused trailing byte.
+            prop_assert_eq!(bytes.len(), expected_bits.div_ceil(8));
+            let mut r = BitReader::new(&bytes);
+            prop_assert_eq!(r.read_bool().unwrap(), flag);
+            prop_assert_eq!(r.read_bits(count).unwrap(), masked);
+            prop_assert_eq!(r.read_bytes(payload.len()).unwrap(), payload);
+            // Only right-padding of the final byte may remain.
+            prop_assert!(r.remaining() < 8);
+        }
     }
 }

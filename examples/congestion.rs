@@ -1,18 +1,46 @@
 //! Channel congestion at scale: many CAM-beaconing stations with the
 //! reactive DCC gatekeeper (ETSI TS 102 687) in the loop.
 //!
+//! The station-count sweep runs one fleet per worker on the parallel
+//! campaign runner; pick the worker count with `--threads N` or
+//! `RUNNER_THREADS` (the table is identical either way).
+//!
 //! ```sh
-//! cargo run --example congestion --release
+//! cargo run --example congestion --release -- --threads 4
 //! ```
 
-use its_testbed::congestion::{run_congestion, sweep_station_count, CongestionConfig};
+use its_testbed::congestion::{run_congestion, sweep_station_count_on, CongestionConfig};
+use its_testbed::Runner;
+
+/// Parses `--threads N`; `None` falls back to [`Runner::from_env`].
+fn threads_flag() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--threads" {
+            return it.next().and_then(|v| runner::parse_threads(v));
+        }
+        if let Some(v) = arg.strip_prefix("--threads=") {
+            return runner::parse_threads(v);
+        }
+    }
+    None
+}
 
 fn main() {
+    let runner = match threads_flag() {
+        Some(n) => Runner::new(n),
+        None => Runner::from_env(),
+    };
     println!("CAM beaconing under load — reactive DCC in every station\n");
-    println!("Station-count sweep (20 s simulated each):");
+    println!(
+        "Station-count sweep (20 s simulated each, {} worker thread(s)):",
+        runner.threads()
+    );
     print!(
         "{}",
-        sweep_station_count(
+        sweep_station_count_on(
+            &runner,
             &CongestionConfig::default(),
             &[2, 5, 10, 20, 40, 80, 120, 160]
         )

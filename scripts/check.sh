@@ -10,8 +10,14 @@ cargo fmt --all --check
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test"
-cargo test -q
+# The suite runs twice to prove the campaign runner's guarantee: results
+# are identical whether campaigns run serially or on 8 worker threads
+# (tests/parallel_determinism.rs additionally pins 1 vs 2 vs 8 in-process).
+echo "==> cargo test (RUNNER_THREADS=1)"
+RUNNER_THREADS=1 cargo test -q
+
+echo "==> cargo test (RUNNER_THREADS=8)"
+RUNNER_THREADS=8 cargo test -q
 
 echo "==> detlint"
 cargo run -q -p detlint

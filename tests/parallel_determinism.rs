@@ -1,0 +1,74 @@
+//! Tier-1 regression test for the parallel campaign runner: the same
+//! campaign produces **byte-identical** rendered output at 1, 2 and 8
+//! worker threads (DESIGN.md §8). The machine running the tests may
+//! have any core count — 8 workers on 1 core oversubscribes, which must
+//! change scheduling only, never results.
+
+use its_testbed::ablation::{sweep_poll_period, sweep_poll_period_on, sweep_tx_power_on};
+use its_testbed::experiments::{table2_on, table3_on};
+use its_testbed::scenario::ScenarioConfig;
+use its_testbed::Runner;
+
+fn base() -> ScenarioConfig {
+    ScenarioConfig {
+        seed: 5000,
+        ..ScenarioConfig::default()
+    }
+}
+
+#[test]
+fn sweep_table_identical_across_thread_counts() {
+    let render = |threads: usize| {
+        sweep_poll_period_on(&Runner::new(threads), &base(), &[10, 50, 150], 16).render()
+    };
+    let one = render(1);
+    assert!(!one.is_empty());
+    assert_eq!(one, render(2), "2 threads diverged from serial");
+    assert_eq!(one, render(8), "8 threads diverged from serial");
+}
+
+#[test]
+fn table2_identical_across_thread_counts() {
+    let render = |threads: usize| table2_on(&Runner::new(threads), &base(), 24).render();
+    let one = render(1);
+    assert_eq!(one, render(2));
+    assert_eq!(one, render(8));
+}
+
+#[test]
+fn table3_bits_identical_across_thread_counts() {
+    let braking = |threads: usize| table3_on(&Runner::new(threads), &base(), 24).braking_m;
+    let one = braking(1);
+    for threads in [2, 8] {
+        let other = braking(threads);
+        assert_eq!(one.len(), other.len());
+        for (i, (a, b)) in one.iter().zip(&other).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "run {i} differs at {threads} threads: {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn delivery_ratio_sweep_identical_across_thread_counts() {
+    // tx-power delivery ratios exercise the counting (non-mean) path.
+    let render = |threads: usize| {
+        sweep_tx_power_on(&Runner::new(threads), &base(), &[-36.0, 23.0], 12).render()
+    };
+    let one = render(1);
+    assert_eq!(one, render(3));
+    assert_eq!(one, render(8));
+}
+
+#[test]
+fn env_default_entry_point_matches_explicit_serial_runner() {
+    // Whatever RUNNER_THREADS the harness set (check.sh runs the suite
+    // at 1 and at 8), the env-picked runner must agree with an explicit
+    // single-threaded one.
+    let from_env = sweep_poll_period(&base(), &[25, 100], 8).render();
+    let serial = sweep_poll_period_on(&Runner::new(1), &base(), &[25, 100], 8).render();
+    assert_eq!(from_env, serial);
+}

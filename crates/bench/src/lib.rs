@@ -29,6 +29,166 @@ pub fn campaign_runner() -> Runner {
     Runner::from_env()
 }
 
+/// One timed side (serial or parallel) of the campaign-throughput bench.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignSide {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock seconds for the whole (Table II + Table III) campaign.
+    pub seconds: f64,
+    /// Completed scenario runs per second of wall-clock time.
+    pub runs_per_sec: f64,
+    /// Wall-clock nanoseconds per dispatched simulation event (measured
+    /// over the Table II sub-campaign, whose records carry event counts).
+    pub ns_per_event: f64,
+    /// Heap allocations per scenario run (counting-allocator proxy).
+    pub allocs_per_run: f64,
+    /// Heap bytes requested per scenario run (counting-allocator proxy).
+    pub alloc_bytes_per_run: f64,
+}
+
+/// The full campaign-throughput measurement written to
+/// `BENCH_campaign.json`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignMeasurement {
+    /// Runs per table (the campaign executes `2 × runs` scenarios).
+    pub runs: usize,
+    /// Mean events dispatched per Table II run (workload fingerprint).
+    pub events_per_run: f64,
+    /// Serial (1-thread) measurement.
+    pub serial: CampaignSide,
+    /// Parallel (N-thread) measurement.
+    pub parallel: CampaignSide,
+    /// Table II mean total delay, ms — an aggregate fingerprint so any
+    /// seed-schedule or model drift is visible next to the perf numbers.
+    pub table2_total_avg_ms: f64,
+    /// Table III mean braking distance, m (same purpose).
+    pub table3_braking_avg_m: f64,
+}
+
+fn side_json(side: &CampaignSide) -> String {
+    format!(
+        "{{\n    \"threads\": {},\n    \"seconds\": {:.6},\n    \"runs_per_sec\": {:.3},\n    \"ns_per_event\": {:.1},\n    \"allocs_per_run\": {:.1},\n    \"alloc_bytes_per_run\": {:.1}\n  }}",
+        side.threads,
+        side.seconds,
+        side.runs_per_sec,
+        side.ns_per_event,
+        side.allocs_per_run,
+        side.alloc_bytes_per_run
+    )
+}
+
+/// Renders the measurement as the `BENCH_campaign.json` document.
+pub fn campaign_json(m: &CampaignMeasurement) -> String {
+    format!(
+        "{{\n  \"bench\": \"campaign_throughput\",\n  \"runs_per_table\": {},\n  \"events_per_run\": {:.1},\n  \"serial\": {},\n  \"parallel\": {},\n  \"table2_total_avg_ms\": {:.4},\n  \"table3_braking_avg_m\": {:.6}\n}}\n",
+        m.runs,
+        m.events_per_run,
+        side_json(&m.serial),
+        side_json(&m.parallel),
+        m.table2_total_avg_ms,
+        m.table3_braking_avg_m
+    )
+}
+
+/// Path of the tracked benchmark baseline at the repository root.
+pub fn campaign_json_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_campaign.json")
+}
+
+/// Keys every valid `BENCH_campaign.json` must carry (with finite,
+/// non-negative numeric values).
+pub const CAMPAIGN_JSON_REQUIRED_KEYS: [&str; 8] = [
+    "runs_per_table",
+    "events_per_run",
+    "threads",
+    "seconds",
+    "runs_per_sec",
+    "ns_per_event",
+    "allocs_per_run",
+    "alloc_bytes_per_run",
+];
+
+/// Extracts every `"key": <number>` pair from a (flat or nested) JSON
+/// document — a dependency-free scanner sufficient for validating the
+/// bench artefacts this crate writes. Duplicate keys appear once per
+/// occurrence, in document order.
+pub fn json_number_fields(src: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'"' {
+            i += 1;
+            continue;
+        }
+        let Some(end) = src[i + 1..].find('"').map(|e| i + 1 + e) else {
+            break;
+        };
+        let key = &src[i + 1..end];
+        let mut j = end + 1;
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j] == b':' {
+            j += 1;
+            while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            let num_start = j;
+            while j < bytes.len()
+                && (bytes[j].is_ascii_digit()
+                    || matches!(bytes[j], b'-' | b'+' | b'.' | b'e' | b'E'))
+            {
+                j += 1;
+            }
+            if let Ok(v) = src[num_start..j].parse::<f64>() {
+                out.push((key.to_owned(), v));
+            }
+        }
+        i = j.max(end + 1);
+    }
+    out
+}
+
+/// Validates a `BENCH_campaign.json` document: non-empty, and every
+/// required key present with a finite, non-negative value.
+///
+/// # Errors
+///
+/// Returns a description of the first problem found.
+pub fn validate_campaign_json(src: &str) -> Result<(), String> {
+    let trimmed = src.trim();
+    if trimmed.is_empty() {
+        return Err("document is empty".to_owned());
+    }
+    if !trimmed.starts_with('{') || !trimmed.ends_with('}') {
+        return Err("document is not a JSON object (truncated?)".to_owned());
+    }
+    let opens = trimmed.matches('{').count();
+    let closes = trimmed.matches('}').count();
+    if opens != closes {
+        return Err(format!("unbalanced braces ({opens} open, {closes} close)"));
+    }
+    let fields = json_number_fields(src);
+    for key in CAMPAIGN_JSON_REQUIRED_KEYS {
+        let hits: Vec<f64> = fields
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|&(_, v)| v)
+            .collect();
+        if hits.is_empty() {
+            return Err(format!("missing numeric field {key:?}"));
+        }
+        for v in hits {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("field {key:?} has invalid value {v}"));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Formats a mean/sd/min/max line for the bench reports.
 pub fn stat_line(name: &str, xs: &[f64]) -> String {
     let n = xs.len() as f64;
@@ -58,5 +218,70 @@ mod tests {
         let s = stat_line("x", &[1.0, 2.0, 3.0]);
         assert!(s.contains("mean 2.00"));
         assert!(s.contains("n=3"));
+    }
+
+    fn sample_measurement() -> CampaignMeasurement {
+        let side = |threads: usize, secs: f64| CampaignSide {
+            threads,
+            seconds: secs,
+            runs_per_sec: 512.0 / secs,
+            ns_per_event: 420.0,
+            allocs_per_run: 12_000.0,
+            alloc_bytes_per_run: 850_000.0,
+        };
+        CampaignMeasurement {
+            runs: 256,
+            events_per_run: 9_000.0,
+            serial: side(1, 40.0),
+            parallel: side(8, 7.5),
+            table2_total_avg_ms: 58.4,
+            table3_braking_avg_m: 0.36,
+        }
+    }
+
+    #[test]
+    fn campaign_json_round_trips_through_validator() {
+        let json = campaign_json(&sample_measurement());
+        assert!(validate_campaign_json(&json).is_ok(), "{json}");
+        // Both sides are present: "threads" appears once per side.
+        let threads: Vec<f64> = json_number_fields(&json)
+            .into_iter()
+            .filter(|(k, _)| k == "threads")
+            .map(|(_, v)| v)
+            .collect();
+        assert_eq!(threads, vec![1.0, 8.0]);
+    }
+
+    #[test]
+    fn validator_rejects_empty_and_truncated_documents() {
+        assert!(validate_campaign_json("").is_err());
+        assert!(validate_campaign_json("   \n").is_err());
+        assert!(validate_campaign_json("{}").is_err());
+        let json = campaign_json(&sample_measurement());
+        let truncated = &json[..json.len() / 2];
+        assert!(validate_campaign_json(truncated).is_err());
+    }
+
+    #[test]
+    fn json_number_scanner_handles_nesting_and_exponents() {
+        let fields =
+            json_number_fields("{\"a\": 1.5, \"nested\": {\"b\": -2e-3}, \"s\": \"no\", \"c\": 7}");
+        assert_eq!(fields.len(), 3);
+        assert_eq!(fields[0], ("a".to_owned(), 1.5));
+        assert_eq!(fields[1].0, "b");
+        assert!((fields[1].1 - -0.002).abs() < 1e-12);
+        assert_eq!(fields[2], ("c".to_owned(), 7.0));
+    }
+
+    /// The tracked baseline at the repository root must stay parseable
+    /// and non-empty — `scripts/check.sh` runs this as part of the bench
+    /// smoke step.
+    #[test]
+    fn tracked_bench_campaign_baseline_is_valid() {
+        let path = campaign_json_path();
+        let src = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing baseline {}: {e}", path.display()));
+        validate_campaign_json(&src)
+            .unwrap_or_else(|e| panic!("invalid baseline {}: {e}", path.display()));
     }
 }

@@ -157,7 +157,7 @@ impl NormalFit {
         if self.std_dev <= 0.0 {
             return if x >= self.mean { 1.0 } else { 0.0 };
         }
-        0.5 * erfc_local(-(x - self.mean) / (self.std_dev * std::f64::consts::SQRT_2))
+        0.5 * sim_core::math::erfc(-(x - self.mean) / (self.std_dev * std::f64::consts::SQRT_2))
     }
 }
 
@@ -183,19 +183,6 @@ pub fn ks_statistic(edf: &Edf, cdf: impl Fn(f64) -> f64) -> f64 {
         d = d.max((f - lo).abs()).max((hi - f).abs());
     }
     d
-}
-
-fn erfc_local(x: f64) -> f64 {
-    // Abramowitz–Stegun 7.1.26 via erf.
-    if x < 0.0 {
-        return 2.0 - erfc_local(-x);
-    }
-    let t = 1.0 / (1.0 + 0.327_591_1 * x);
-    let poly = t
-        * (0.254_829_592
-            + t * (-0.284_496_736
-                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
-    poly * (-x * x).exp()
 }
 
 /// Mean of a slice (convenience for the tables).
@@ -268,6 +255,7 @@ pub fn bootstrap_ci(
     let samples = edf.samples();
     let mut rng = sim_core::SimRng::seed_from(seed);
     let mut stats = Vec::with_capacity(resamples);
+    // One scratch buffer reused across all resamples.
     let mut scratch = vec![0.0; samples.len()];
     for _ in 0..resamples {
         for slot in scratch.iter_mut() {
@@ -275,16 +263,25 @@ pub fn bootstrap_ci(
         }
         stats.push(statistic(&scratch));
     }
-    stats.sort_by(|a, b| a.total_cmp(b));
+    // Only two order statistics are needed, so two O(n) selections
+    // replace a full sort. `total_cmp` is a total order, which makes the
+    // i-th order statistic a unique value — identical to what indexing
+    // the fully sorted vector would return.
     let alpha = (1.0 - level) / 2.0;
-    let idx = |q: f64| -> f64 {
-        let i = ((q * stats.len() as f64).floor() as usize).min(stats.len() - 1);
-        stats[i]
+    let order_index = |q: f64| ((q * resamples as f64).floor() as usize).min(resamples - 1);
+    let lo_i = order_index(alpha);
+    let hi_i = order_index(1.0 - alpha);
+    let (_, &mut low, upper) = stats.select_nth_unstable_by(lo_i, f64::total_cmp);
+    let high = if hi_i > lo_i {
+        let (_, &mut h, _) = upper.select_nth_unstable_by(hi_i - lo_i - 1, f64::total_cmp);
+        h
+    } else {
+        low
     };
     ConfidenceInterval {
-        low: idx(alpha),
+        low,
         estimate: statistic(samples),
-        high: idx(1.0 - alpha),
+        high,
     }
 }
 

@@ -28,7 +28,7 @@ use perception::detector::{Detection, YoloModel};
 use perception::hazard::{HazardAdvertisementService, HazardConfig, HazardDecision};
 use perception::tracker::{Tracker, TrackerConfig};
 use phy80211p::cellular::{CellularLink, CellularProfile};
-use phy80211p::channel::{Channel, ChannelConfig};
+use phy80211p::channel::{Channel, ChannelConfig, LinkCache};
 use phy80211p::edca::Medium;
 use phy80211p::ofdm::airtime;
 use phy80211p::Position2D;
@@ -195,6 +195,10 @@ pub struct RunRecord {
     pub denm_delivered: bool,
     /// Number of CAMs the RSU received during the run.
     pub cams_received: u64,
+    /// Discrete events dispatched over the whole run — performance
+    /// accounting for the campaign-throughput bench (`BENCH_campaign.json`
+    /// reports ns/event from it); not part of any paper table.
+    pub events_dispatched: u64,
     /// Event trace of the run.
     pub trace: Trace,
 }
@@ -271,20 +275,21 @@ pub enum Event {
     RsuMacHandoff,
     /// The DENM frame (or cellular message) arrives at the OBU.
     ObuRx {
-        /// Bytes of the DENM payload.
-        denm_bytes: Vec<u8>,
+        /// Shared bytes of the DENM payload (encoded once at the RSU;
+        /// every hop and repetition clones the `Arc`, not the bytes).
+        denm_bytes: std::sync::Arc<[u8]>,
     },
     /// A CAM frame arrives at the RSU.
     RsuCamRx {
-        /// Bytes of the full GN packet.
-        packet_bytes: Vec<u8>,
+        /// Shared bytes of the full GN packet.
+        packet_bytes: std::sync::Arc<[u8]>,
     },
     /// The vehicle's polling script fires.
     VehiclePoll,
     /// The poll response (carrying a DENM) reaches the control logic.
     PlannerNotified {
-        /// Bytes of the DENM payload.
-        denm_bytes: Vec<u8>,
+        /// Shared bytes of the DENM payload.
+        denm_bytes: std::sync::Arc<[u8]>,
     },
     /// The physical power cut takes effect at the ESC.
     PowerCutApplied,
@@ -315,8 +320,9 @@ pub struct Scenario {
     track: Track,
     throttle: f64,
     odometry: WheelOdometry,
-    pending_denm: Vec<Vec<u8>>,
+    pending_denm: Vec<std::sync::Arc<[u8]>>,
     poll_phase: SimDuration,
+    link_cache: LinkCache,
     // Bookkeeping.
     record: RunRecord,
     done: bool,
@@ -405,6 +411,7 @@ impl Scenario {
             odometry: WheelOdometry::new(3480.0),
             pending_denm: Vec::new(),
             poll_phase,
+            link_cache: LinkCache::new(),
             record: RunRecord::default(),
             done: false,
             next_object_id: 1,
@@ -443,6 +450,7 @@ impl Scenario {
         );
         let timeout = SimTime::ZERO + self.config.timeout;
         run(&mut self, &mut queue, timeout);
+        self.record.events_dispatched = queue.dispatched();
         self.record
     }
 
@@ -532,19 +540,20 @@ impl Scenario {
             // Congestion feedback: both radios hear the frame.
             self.obu.observe_channel_busy(now, at);
             self.rsu.observe_channel_busy(now, at);
-            let outcome = self.channel.transmit(
+            let outcome = self.channel.transmit_cached(
                 start,
                 self.obu.position(),
                 self.rsu.position(),
                 bytes.len(),
                 self.obu.config().data_rate,
                 &mut self.rng_channel,
+                &mut self.link_cache,
             );
             if outcome.delivered {
                 queue.schedule_at(
                     outcome.arrival,
                     Event::RsuCamRx {
-                        packet_bytes: bytes,
+                        packet_bytes: bytes.into(),
                     },
                 );
             }
@@ -723,13 +732,14 @@ impl Scenario {
                     self.medium.occupy(start + at);
                     self.obu.observe_channel_busy(now, at);
                     self.rsu.observe_channel_busy(now, at);
-                    let outcome = self.channel.transmit(
+                    let outcome = self.channel.transmit_cached(
                         start,
                         self.rsu.position(),
                         self.obu.position(),
                         bytes.len(),
                         self.rsu.config().data_rate,
                         &mut self.rng_channel,
+                        &mut self.link_cache,
                     );
                     if outcome.delivered {
                         // RX chain processing (kernel + OpenC2X stack)
@@ -767,7 +777,7 @@ impl Scenario {
         }
     }
 
-    fn on_obu_rx(&mut self, now: SimTime, denm_bytes: Vec<u8>) {
+    fn on_obu_rx(&mut self, now: SimTime, denm_bytes: std::sync::Arc<[u8]>) {
         // Step 4: OBU registers DENM reception (first copy only).
         if self.record.step4_obu_recv.is_none() {
             self.record.step4_obu_recv = Some(now);
@@ -805,7 +815,7 @@ impl Scenario {
     fn on_planner_notified(
         &mut self,
         now: SimTime,
-        denm_bytes: Vec<u8>,
+        denm_bytes: std::sync::Arc<[u8]>,
         queue: &mut EventQueue<Event>,
     ) {
         let Ok(denm) = its_messages::denm::Denm::from_bytes(&denm_bytes) else {

@@ -23,6 +23,21 @@ pub use std::hint::black_box;
 // detlint:allow(D1) benchmarks measure real host time by definition
 use std::time::Instant;
 
+/// Times a single call of `f` on the host clock, returning its result
+/// and the elapsed wall-clock seconds.
+///
+/// This is the sanctioned timing entry point for campaign-level benches
+/// (e.g. `campaign_throughput`, which reports whole-campaign runs/sec
+/// rather than per-iteration nanoseconds): it keeps every wall-clock
+/// read inside this crate, as the crate-level note on detlint D1
+/// requires.
+pub fn time_once<O>(f: impl FnOnce() -> O) -> (O, f64) {
+    // detlint:allow(D1) benchmarks measure real host time by definition
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
 /// Top-level benchmark driver, mirroring `criterion::Criterion`.
 #[derive(Debug)]
 pub struct Criterion {

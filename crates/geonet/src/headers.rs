@@ -229,7 +229,11 @@ pub struct GnPacket {
     /// BTP-B transport header.
     pub btp: BtpB,
     /// Facilities-layer payload (UPER-encoded CAM or DENM).
-    pub payload: Vec<u8>,
+    ///
+    /// Shared, immutable bytes: forwarding and per-hop delivery clone
+    /// the `Arc`, not the payload, so a message is encoded exactly once
+    /// however many hops or receivers it traverses.
+    pub payload: std::sync::Arc<[u8]>,
 }
 
 impl GnPacket {
@@ -238,8 +242,9 @@ impl GnPacket {
         source: LongPositionVector,
         traffic_class: TrafficClass,
         port: BtpPort,
-        payload: Vec<u8>,
+        payload: impl Into<std::sync::Arc<[u8]>>,
     ) -> Self {
+        let payload = payload.into();
         Self {
             basic: BasicHeader {
                 version: GN_VERSION,
@@ -264,8 +269,9 @@ impl GnPacket {
         area: GeoArea,
         traffic_class: TrafficClass,
         port: BtpPort,
-        payload: Vec<u8>,
+        payload: impl Into<std::sync::Arc<[u8]>>,
     ) -> Self {
+        let payload = payload.into();
         Self {
             basic: BasicHeader {
                 version: GN_VERSION,
@@ -351,7 +357,7 @@ impl GnPacket {
             other => return Err(GeonetError::UnknownHeaderType(other)),
         };
         let btp = BtpB::read(&mut r)?;
-        let payload = r.rest().to_vec();
+        let payload: std::sync::Arc<[u8]> = std::sync::Arc::from(r.rest());
         let declared = common.payload_length as usize;
         let actual = payload.len() + BtpB::WIRE_SIZE;
         if declared != actual {

@@ -595,7 +595,7 @@ mod tests {
         let mut rsu = rsu();
         let mut obu = obu();
         let mut packet = obu.poll_cam(SimTime::ZERO).unwrap().unwrap();
-        packet.payload = vec![0xFF; 7]; // not a CAM
+        packet.payload = vec![0xFF; 7].into(); // not a CAM
         packet.common.payload_length = (packet.payload.len() + 4) as u16;
         assert!(rsu.on_packet(SimTime::ZERO, &packet).is_empty());
         assert_eq!(rsu.ldm().station_count(), 0);

@@ -10,7 +10,9 @@
 //! they cut the TX→RX segment.
 
 use crate::ofdm::{airtime, DataRate, Modulation};
+use sim_core::math::q_function;
 use sim_core::{SimDuration, SimRng, SimTime};
+use std::collections::BTreeMap;
 
 /// Speed of light, m/s.
 const C_M_PER_S: f64 = 299_792_458.0;
@@ -255,24 +257,105 @@ impl Channel {
             fer,
         }
     }
-}
-
-/// Gaussian tail probability Q(x) via the complementary error function
-/// (Abramowitz–Stegun 7.1.26 approximation of erf).
-fn q_function(x: f64) -> f64 {
-    0.5 * erfc(x / std::f64::consts::SQRT_2)
-}
-
-fn erfc(x: f64) -> f64 {
-    if x < 0.0 {
-        return 2.0 - erfc(-x);
+    /// [`Channel::transmit`] with the deterministic math memoised in
+    /// `cache`.
+    ///
+    /// Bitwise identical to the uncached path: the cache is keyed on the
+    /// *exact bit patterns* of its inputs (`f64::to_bits` of the
+    /// post-shadowing SNR, frame length, data rate), so a hit returns
+    /// the very same `f64` the formula would produce, and the RNG draw
+    /// order (shadowing normal, then delivery Bernoulli) is unchanged.
+    /// Shadowing stays a fresh per-frame draw — only the pure
+    /// SNR→FER/airtime math is memoised.
+    #[allow(clippy::too_many_arguments)] // mirrors `transmit` plus the cache
+    pub fn transmit_cached(
+        &self,
+        start: SimTime,
+        tx: Position2D,
+        rx: Position2D,
+        len_bytes: usize,
+        rate: DataRate,
+        rng: &mut SimRng,
+        cache: &mut LinkCache,
+    ) -> TransmitOutcome {
+        let shadow_db = if self.config.shadowing_sigma_db > 0.0 {
+            rng.normal(0.0, self.config.shadowing_sigma_db)
+        } else {
+            0.0
+        };
+        let rx_power = self.mean_rx_power_dbm(tx, rx) + shadow_db;
+        let snr_db = rx_power - self.config.noise_floor_dbm;
+        let fer = cache.fer(self, snr_db, len_bytes, rate);
+        let delivered = !rng.bernoulli(fer);
+        let propagation = SimDuration::from_secs_f64(tx.distance(rx) / C_M_PER_S);
+        let arrival = start + cache.airtime(len_bytes, rate) + propagation;
+        TransmitOutcome {
+            delivered,
+            arrival,
+            snr_db,
+            fer,
+        }
     }
-    let t = 1.0 / (1.0 + 0.327_591_1 * x);
-    let poly = t
-        * (0.254_829_592
-            + t * (-0.284_496_736
-                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
-    poly * (-x * x).exp()
+}
+
+/// Memo cache for the deterministic parts of the link model
+/// (SNR→frame-error-rate curves and frame airtimes).
+///
+/// One instance is meant to live next to each simulated radio channel
+/// (e.g. per scenario run). Keys are exact input bit patterns — no
+/// quantisation — so a cached value is the *same* `f64` the direct
+/// computation returns; see [`Channel::transmit_cached`]. `BTreeMap`
+/// keeps iteration (and therefore any future debug dump) deterministic.
+///
+/// Entries are bounded: when the FER map reaches its cap (a campaign
+/// with per-frame shadowing produces a fresh SNR per frame) it is
+/// cleared outright, which keeps the memory footprint flat and the
+/// behaviour independent of hash or eviction order.
+#[derive(Debug, Clone, Default)]
+pub struct LinkCache {
+    fer: BTreeMap<(u64, usize, u8), f64>,
+    airtime: BTreeMap<(usize, u8), SimDuration>,
+}
+
+impl LinkCache {
+    /// FER entries kept before the map is cleared.
+    const MAX_FER_ENTRIES: usize = 8192;
+
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of FER entries currently cached.
+    pub fn fer_entries(&self) -> usize {
+        self.fer.len()
+    }
+
+    /// Memoised [`Channel::frame_error_rate`]; bit-for-bit equal to the
+    /// direct call.
+    pub fn fer(&mut self, channel: &Channel, snr_db: f64, len_bytes: usize, rate: DataRate) -> f64 {
+        let key = (snr_db.to_bits(), len_bytes, rate as u8);
+        if let Some(&v) = self.fer.get(&key) {
+            return v;
+        }
+        let v = channel.frame_error_rate(snr_db, len_bytes, rate);
+        if self.fer.len() >= Self::MAX_FER_ENTRIES {
+            self.fer.clear();
+        }
+        self.fer.insert(key, v);
+        v
+    }
+
+    /// Memoised [`airtime`]; bit-for-bit equal to the direct call.
+    pub fn airtime(&mut self, len_bytes: usize, rate: DataRate) -> SimDuration {
+        let key = (len_bytes, rate as u8);
+        if let Some(&v) = self.airtime.get(&key) {
+            return v;
+        }
+        let v = airtime(len_bytes, rate);
+        self.airtime.insert(key, v);
+        v
+    }
 }
 
 #[cfg(test)]
@@ -438,6 +521,22 @@ mod tests {
         );
     }
 
+    #[test]
+    fn link_cache_clears_at_capacity_and_stays_correct() {
+        let ch = lab_channel();
+        let mut cache = LinkCache::new();
+        // Fill past the cap with distinct SNR keys; the map clears once
+        // and keeps answering with exact values.
+        for i in 0..(8192 + 10) {
+            let snr = i as f64 * 1e-3;
+            let cached = cache.fer(&ch, snr, 100, DataRate::Mbps6);
+            let direct = ch.frame_error_rate(snr, 100, DataRate::Mbps6);
+            assert_eq!(cached.to_bits(), direct.to_bits(), "i={i}");
+        }
+        assert!(cache.fer_entries() <= 8192);
+        assert!(cache.fer_entries() > 0);
+    }
+
     proptest! {
         #[test]
         fn fer_is_probability(snr in -20.0f64..50.0, len in 1usize..2000) {
@@ -446,6 +545,65 @@ mod tests {
                 let f = ch.frame_error_rate(snr, len, rate);
                 prop_assert!((0.0..=1.0).contains(&f), "fer {f}");
             }
+        }
+
+        #[test]
+        fn cached_fer_and_airtime_agree_bit_for_bit(
+            snr in -30.0f64..60.0,
+            len in 1usize..2000,
+            rate_idx in 0usize..8,
+        ) {
+            // The memo cache must be invisible: cached values carry the
+            // exact bit pattern of the direct computation, on first fill
+            // and on every subsequent hit.
+            let ch = lab_channel();
+            let rate = DataRate::ALL[rate_idx];
+            let mut cache = LinkCache::new();
+            let direct_fer = ch.frame_error_rate(snr, len, rate);
+            let direct_at = airtime(len, rate);
+            for pass in 0..2 {
+                let cached_fer = cache.fer(&ch, snr, len, rate);
+                prop_assert_eq!(
+                    cached_fer.to_bits(),
+                    direct_fer.to_bits(),
+                    "fer drift on pass {}", pass
+                );
+                prop_assert_eq!(cache.airtime(len, rate), direct_at);
+            }
+        }
+
+        #[test]
+        fn transmit_cached_matches_transmit_exactly(
+            seed in 0u64..1000,
+            dist in 0.5f64..400.0,
+            len in 1usize..1500,
+            rate_idx in 0usize..8,
+            sigma in 0.0f64..6.0,
+        ) {
+            // Same seed, same frames: the cached transmit path produces
+            // bit-identical outcomes AND leaves the RNG in the same
+            // state as the uncached path (the determinism contract the
+            // campaign tables rely on).
+            let ch = Channel::new(ChannelConfig {
+                shadowing_sigma_db: sigma,
+                ..ChannelConfig::default()
+            });
+            let rate = DataRate::ALL[rate_idx];
+            let tx = Position2D::new(0.0, 0.0);
+            let rx = Position2D::new(dist, 0.0);
+            let mut rng_a = SimRng::seed_from(seed);
+            let mut rng_b = SimRng::seed_from(seed);
+            let mut cache = LinkCache::new();
+            for _ in 0..4 {
+                let plain = ch.transmit(SimTime::ZERO, tx, rx, len, rate, &mut rng_a);
+                let cached =
+                    ch.transmit_cached(SimTime::ZERO, tx, rx, len, rate, &mut rng_b, &mut cache);
+                prop_assert_eq!(plain.delivered, cached.delivered);
+                prop_assert_eq!(plain.arrival, cached.arrival);
+                prop_assert_eq!(plain.snr_db.to_bits(), cached.snr_db.to_bits());
+                prop_assert_eq!(plain.fer.to_bits(), cached.fer.to_bits());
+            }
+            prop_assert_eq!(rng_a.next_u64(), rng_b.next_u64(), "RNG streams diverged");
         }
 
         #[test]

@@ -92,11 +92,26 @@ impl<E> EventQueue<E> {
             self.now
         );
         let seq = self.seq;
-        self.seq += 1;
+        // The FIFO tie-break relies on `seq` being strictly monotonic; a
+        // wrapped counter would silently reorder same-instant events. At
+        // one event per nanosecond a u64 lasts ~584 years of simulated
+        // scheduling, so this only fires on genuine logic errors.
+        debug_assert!(
+            seq < u64::MAX,
+            "event sequence counter exhausted; FIFO tie-break would wrap"
+        );
+        self.seq = self.seq.wrapping_add(1);
         self.heap.push(Reverse(Pending { time, seq, event }));
     }
 
     /// Schedules `event` at `base + delay`.
+    ///
+    /// Events scheduled for the same instant are dispatched in the order
+    /// they were scheduled (FIFO): each call consumes a strictly
+    /// increasing sequence number that breaks time ties, regardless of
+    /// whether it arrived via this method or [`EventQueue::schedule_at`].
+    /// Determinism tests rely on this contract — same-instant handler
+    /// follow-ups always run in scheduling order.
     ///
     /// # Panics
     ///

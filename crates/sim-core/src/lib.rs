@@ -48,6 +48,7 @@
 
 mod clock;
 mod engine;
+pub mod math;
 mod rng;
 mod time;
 mod trace;

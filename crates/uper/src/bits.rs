@@ -51,36 +51,66 @@ impl BitWriter {
 
     /// Appends the `count` least-significant bits of `value`, MSB first.
     ///
+    /// Splices whole bytes at a time: the partial tail byte is topped up
+    /// first, then full bytes of `value` are pushed directly, then any
+    /// leftover high bits open a fresh byte. Byte-identical to writing
+    /// the bits one at a time.
+    ///
     /// # Panics
     ///
     /// Panics if `count > 64`.
     pub fn write_bits(&mut self, value: u64, count: u32) {
         assert!(count <= 64, "cannot write more than 64 bits at once");
-        for i in (0..count).rev() {
-            let bit = (value >> i) & 1 == 1;
-            self.push_bit(bit);
+        if count == 0 {
+            return;
+        }
+        let value = if count == 64 {
+            value
+        } else {
+            value & ((1u64 << count) - 1)
+        };
+        let mut rem = count;
+        // Top up the partially-used tail byte.
+        if !self.bytes.is_empty() && self.used < 8 {
+            let free = 8 - u32::from(self.used);
+            let take = rem.min(free);
+            let chunk = (value >> (rem - take)) & ((1u64 << take) - 1);
+            if let Some(last) = self.bytes.last_mut() {
+                *last |= (chunk as u8) << (free - take);
+            }
+            self.used += take as u8;
+            rem -= take;
+        }
+        // Whole bytes straight from the value.
+        while rem >= 8 {
+            rem -= 8;
+            self.bytes.push((value >> rem) as u8);
+            self.used = 8;
+        }
+        // Leftover high bits open a fresh, right-padded byte.
+        if rem > 0 {
+            let chunk = (value & ((1u64 << rem) - 1)) as u8;
+            self.bytes.push(chunk << (8 - rem));
+            self.used = rem as u8;
         }
     }
 
     /// Appends a whole byte slice (bit-aligned to the current position).
+    ///
+    /// When the writer is byte-aligned this is a single `memcpy`; the
+    /// unaligned case splices each byte across the boundary.
     pub fn write_bytes(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.write_bits(u64::from(b), 8);
+        if bytes.is_empty() {
+            return;
         }
-    }
-
-    fn push_bit(&mut self, bit: bool) {
-        // `used` is the number of occupied bits (0..=8) in the last byte.
         if self.bytes.is_empty() || self.used == 8 {
-            self.bytes.push(0);
-            self.used = 0;
-        }
-        if bit {
-            if let Some(last) = self.bytes.last_mut() {
-                *last |= 1 << (7 - self.used);
+            self.bytes.extend_from_slice(bytes);
+            self.used = 8;
+        } else {
+            for &b in bytes {
+                self.write_bits(u64::from(b), 8);
             }
         }
-        self.used += 1;
     }
 
     /// Consumes the writer, returning the packed bytes.
@@ -151,28 +181,66 @@ impl<'a> BitReader<'a> {
     /// Panics if `count > 64`.
     pub fn read_bits(&mut self, count: u32) -> Result<u64> {
         assert!(count <= 64, "cannot read more than 64 bits at once");
+        // The shortage check runs before any cursor movement, so a failed
+        // read consumes nothing.
         if self.remaining() < count as usize {
             return Err(UperError::UnexpectedEnd {
                 requested: count as usize,
                 remaining: self.remaining(),
             });
         }
-        let mut out = 0u64;
-        for _ in 0..count {
-            let byte = self.bytes[self.pos / 8];
-            let bit = (byte >> (7 - (self.pos % 8))) & 1;
-            out = (out << 1) | u64::from(bit);
-            self.pos += 1;
+        if count == 0 {
+            return Ok(0);
         }
+        let mut out = 0u64;
+        let mut rem = count;
+        let mut idx = self.pos / 8;
+        let lead = (self.pos % 8) as u32;
+        // Tail of the partially-consumed lead byte.
+        if lead != 0 {
+            let avail = 8 - lead;
+            let take = rem.min(avail);
+            let byte = u32::from(self.bytes[idx]);
+            out = u64::from((byte >> (avail - take)) & ((1u32 << take) - 1));
+            rem -= take;
+            idx += 1;
+        }
+        // Whole bytes.
+        while rem >= 8 {
+            out = (out << 8) | u64::from(self.bytes[idx]);
+            idx += 1;
+            rem -= 8;
+        }
+        // Leading bits of the final byte.
+        if rem > 0 {
+            let byte = u32::from(self.bytes[idx]);
+            out = (out << rem) | u64::from((byte >> (8 - rem)) & ((1u32 << rem) - 1));
+        }
+        self.pos += count as usize;
         Ok(out)
     }
 
     /// Reads `len` whole bytes from the (possibly unaligned) stream.
     ///
+    /// At byte-aligned positions this is a single slice copy.
+    ///
     /// # Errors
     ///
-    /// Returns [`UperError::UnexpectedEnd`] if the stream is too short.
+    /// Returns [`UperError::UnexpectedEnd`] if the stream is too short; a
+    /// failed read consumes nothing.
     pub fn read_bytes(&mut self, len: usize) -> Result<Vec<u8>> {
+        let needed = len * 8;
+        if self.remaining() < needed {
+            return Err(UperError::UnexpectedEnd {
+                requested: needed,
+                remaining: self.remaining(),
+            });
+        }
+        if self.pos % 8 == 0 {
+            let start = self.pos / 8;
+            self.pos += needed;
+            return Ok(self.bytes[start..start + len].to_vec());
+        }
         let mut out = Vec::with_capacity(len);
         for _ in 0..len {
             out.push(self.read_bits(8)? as u8);
@@ -185,6 +253,81 @@ impl<'a> BitReader<'a> {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    /// The original bit-at-a-time writer/reader, kept as the reference
+    /// the word-level implementation is property-tested against.
+    mod reference {
+        use super::super::{Result, UperError};
+
+        #[derive(Default)]
+        pub struct RefWriter {
+            bytes: Vec<u8>,
+            used: u8,
+        }
+
+        impl RefWriter {
+            pub fn write_bits(&mut self, value: u64, count: u32) {
+                for i in (0..count).rev() {
+                    self.push_bit((value >> i) & 1 == 1);
+                }
+            }
+
+            pub fn write_bytes(&mut self, bytes: &[u8]) {
+                for &b in bytes {
+                    self.write_bits(u64::from(b), 8);
+                }
+            }
+
+            fn push_bit(&mut self, bit: bool) {
+                if self.bytes.is_empty() || self.used == 8 {
+                    self.bytes.push(0);
+                    self.used = 0;
+                }
+                if bit {
+                    if let Some(last) = self.bytes.last_mut() {
+                        *last |= 1 << (7 - self.used);
+                    }
+                }
+                self.used += 1;
+            }
+
+            pub fn finish(self) -> Vec<u8> {
+                self.bytes
+            }
+        }
+
+        pub struct RefReader<'a> {
+            bytes: &'a [u8],
+            pos: usize,
+        }
+
+        impl<'a> RefReader<'a> {
+            pub fn new(bytes: &'a [u8]) -> Self {
+                Self { bytes, pos: 0 }
+            }
+
+            pub fn remaining(&self) -> usize {
+                self.bytes.len() * 8 - self.pos
+            }
+
+            pub fn read_bits(&mut self, count: u32) -> Result<u64> {
+                if self.remaining() < count as usize {
+                    return Err(UperError::UnexpectedEnd {
+                        requested: count as usize,
+                        remaining: self.remaining(),
+                    });
+                }
+                let mut out = 0u64;
+                for _ in 0..count {
+                    let byte = self.bytes[self.pos / 8];
+                    let bit = (byte >> (7 - (self.pos % 8))) & 1;
+                    out = (out << 1) | u64::from(bit);
+                    self.pos += 1;
+                }
+                Ok(out)
+            }
+        }
+    }
 
     #[test]
     fn empty_writer_produces_no_bytes() {
@@ -361,6 +504,64 @@ mod tests {
             prop_assert_eq!(r.read_bytes(payload.len()).unwrap(), payload);
             // Only right-padding of the final byte may remain.
             prop_assert!(r.remaining() < 8);
+        }
+
+        #[test]
+        fn word_level_writer_matches_bit_at_a_time_reference(
+            fields in proptest::collection::vec(
+                (0u8..3, any::<u64>(), 0u32..=64, proptest::collection::vec(any::<u8>(), 0..12)),
+                0..24,
+            ),
+        ) {
+            // The perf rewrite must be invisible on the wire: arbitrary
+            // interleavings of bool/bits/bytes fields produce
+            // byte-identical buffers from the word-level writer and the
+            // original per-bit reference.
+            let mut fast = BitWriter::new();
+            let mut slow = reference::RefWriter::default();
+            for &(kind, v, c, ref bytes) in &fields {
+                match kind {
+                    0 => {
+                        fast.write_bool(v & 1 == 1);
+                        slow.write_bits(v & 1, 1);
+                    }
+                    1 => {
+                        fast.write_bits(v, c);
+                        slow.write_bits(if c == 64 { v } else { v & ((1u64 << c) - 1) }, c);
+                    }
+                    _ => {
+                        fast.write_bytes(bytes);
+                        slow.write_bytes(bytes);
+                    }
+                }
+            }
+            prop_assert_eq!(fast.finish(), slow.finish());
+        }
+
+        #[test]
+        fn word_level_reader_matches_bit_at_a_time_reference(
+            buf in proptest::collection::vec(any::<u8>(), 0..24),
+            ops in proptest::collection::vec(0u32..=64, 0..24),
+        ) {
+            // Same buffer, same op sequence: the word-level reader and
+            // the per-bit reference agree on every value and on every
+            // error's exact fields.
+            let mut fast = BitReader::new(&buf);
+            let mut slow = reference::RefReader::new(&buf);
+            for &count in &ops {
+                match (fast.read_bits(count), slow.read_bits(count)) {
+                    (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+                    (
+                        Err(UperError::UnexpectedEnd { requested: ra, remaining: ma }),
+                        Err(UperError::UnexpectedEnd { requested: rb, remaining: mb }),
+                    ) => {
+                        prop_assert_eq!(ra, rb);
+                        prop_assert_eq!(ma, mb);
+                    }
+                    (a, b) => prop_assert!(false, "diverged: {a:?} vs {b:?}"),
+                }
+                prop_assert_eq!(fast.remaining(), slow.remaining());
+            }
         }
     }
 }

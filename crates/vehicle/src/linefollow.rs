@@ -181,25 +181,43 @@ impl CameraModel {
 
     /// Renders the track as seen from `pose`.
     pub fn capture(&self, pose: &BicycleState, track: &Track) -> Frame {
-        let mut pixels = vec![false; self.width * self.height];
+        let mut frame = Frame {
+            width: self.width,
+            height: self.height,
+            pixels: Vec::new(),
+        };
+        self.capture_into(pose, track, &mut frame);
+        frame
+    }
+
+    /// Renders the track as seen from `pose` into an existing frame,
+    /// reusing its pixel buffer. Produces exactly the pixels of
+    /// [`CameraModel::capture`]: the pose trig and per-column lateral
+    /// coordinates are hoisted out of the pixel loop but evaluated with
+    /// the same expressions, so every projected world point is bitwise
+    /// identical.
+    pub fn capture_into(&self, pose: &BicycleState, track: &Track, frame: &mut Frame) {
+        frame.width = self.width;
+        frame.height = self.height;
+        frame.pixels.clear();
+        frame.pixels.resize(self.width * self.height, false);
+        let cos_t = pose.theta.cos();
+        let sin_t = pose.theta.sin();
+        let mpc = self.meters_per_col();
+        let half_line = self.line_width_m / 2.0;
         for row in 0..self.height {
             // Row 0 = far edge.
             let ahead =
                 self.far_m - (self.far_m - self.near_m) * (row as f64 + 0.5) / self.height as f64;
             for col in 0..self.width {
-                let lateral = -self.half_width_m + (col as f64 + 0.5) * self.meters_per_col();
+                let lateral = -self.half_width_m + (col as f64 + 0.5) * mpc;
                 // Vehicle frame → world frame.
-                let wx = pose.x + ahead * pose.theta.cos() - lateral * pose.theta.sin();
-                let wy = pose.y + ahead * pose.theta.sin() + lateral * pose.theta.cos();
-                if track.distance_to(wx, wy) <= self.line_width_m / 2.0 {
-                    pixels[row * self.width + col] = true;
+                let wx = pose.x + ahead * cos_t - lateral * sin_t;
+                let wy = pose.y + ahead * sin_t + lateral * cos_t;
+                if track.distance_to(wx, wy) <= half_line {
+                    frame.pixels[row * self.width + col] = true;
                 }
             }
-        }
-        Frame {
-            width: self.width,
-            height: self.height,
-            pixels,
         }
     }
 }
@@ -208,6 +226,13 @@ impl CameraModel {
 /// horizontally (a cheap Canny stand-in on a binary frame).
 pub fn detect_edges(frame: &Frame) -> Vec<(usize, usize)> {
     let mut edges = Vec::new();
+    detect_edges_into(frame, &mut edges);
+    edges
+}
+
+/// [`detect_edges`] into a reusable buffer (cleared first).
+pub fn detect_edges_into(frame: &Frame, edges: &mut Vec<(usize, usize)>) {
+    edges.clear();
     for row in 0..frame.height() {
         for col in 1..frame.width() {
             if frame.get(row, col) != frame.get(row, col - 1) {
@@ -215,7 +240,6 @@ pub fn detect_edges(frame: &Frame) -> Vec<(usize, usize)> {
             }
         }
     }
-    edges
 }
 
 /// A detected line in (ρ, θ) form with its vote count.
@@ -251,44 +275,95 @@ pub fn hough_lines(
     min_votes: u32,
     rng: &mut SimRng,
 ) -> Vec<HoughLine> {
-    if edges.is_empty() {
-        return Vec::new();
+    let mut scratch = HoughScratch::new();
+    let mut lines = Vec::new();
+    hough_lines_into(
+        edges,
+        frame_width,
+        frame_height,
+        min_votes,
+        rng,
+        &mut scratch,
+        &mut lines,
+    );
+    lines
+}
+
+const THETA_BINS: usize = 45; // 4° steps over [0, π)
+
+/// Reusable accumulator storage for [`hough_lines_into`].
+#[derive(Debug, Clone, Default)]
+pub struct HoughScratch {
+    acc: Vec<u32>,
+}
+
+impl HoughScratch {
+    /// Creates empty scratch storage (allocated on first use).
+    pub fn new() -> Self {
+        Self::default()
     }
-    const THETA_BINS: usize = 45; // 4° steps over [0, π)
+}
+
+/// [`hough_lines`] with caller-provided scratch and output buffers.
+///
+/// Identical votes and lines: the per-bin trig values are hoisted into a
+/// table computed with the same `π·tb/bins` expression the inner loop
+/// used, so every `(ρ, θ)` pair — and thus every accumulator cell — is
+/// bitwise identical, at 45 trig calls per frame instead of 45 per
+/// sampled point. The RNG draw sequence is unchanged.
+#[allow(clippy::too_many_arguments)] // mirrors `hough_lines` plus the two buffers
+pub fn hough_lines_into(
+    edges: &[(usize, usize)],
+    frame_width: usize,
+    frame_height: usize,
+    min_votes: u32,
+    rng: &mut SimRng,
+    scratch: &mut HoughScratch,
+    lines: &mut Vec<HoughLine>,
+) {
+    lines.clear();
+    if edges.is_empty() {
+        return;
+    }
     let diag = ((frame_width * frame_width + frame_height * frame_height) as f64).sqrt();
     let rho_bins = (2.0 * diag).ceil() as usize + 1;
-    let mut acc = vec![0u32; THETA_BINS * rho_bins];
+    let acc = &mut scratch.acc;
+    acc.clear();
+    acc.resize(THETA_BINS * rho_bins, 0);
+    let mut trig = [(0.0f64, 0.0f64); THETA_BINS];
+    for (tb, t) in trig.iter_mut().enumerate() {
+        let theta = std::f64::consts::PI * tb as f64 / THETA_BINS as f64;
+        *t = (theta.cos(), theta.sin());
+    }
     // Probabilistic subsampling: at most 256 points, as in the
     // progressive probabilistic Hough transform's random selection stage.
     let samples = edges.len().min(256);
     for _ in 0..samples {
         let &(row, col) = &edges[rng.below(edges.len() as u64) as usize];
-        for tb in 0..THETA_BINS {
-            let theta = std::f64::consts::PI * tb as f64 / THETA_BINS as f64;
-            let rho = col as f64 * theta.cos() + row as f64 * theta.sin();
+        for (tb, &(cos_t, sin_t)) in trig.iter().enumerate() {
+            let rho = col as f64 * cos_t + row as f64 * sin_t;
             let rb = (rho + diag).round() as usize;
             if rb < rho_bins {
                 acc[tb * rho_bins + rb] += 1;
             }
         }
     }
-    let mut lines: Vec<HoughLine> = acc
-        .iter()
-        .enumerate()
-        .filter(|&(_, &v)| v >= min_votes)
-        .map(|(idx, &v)| {
-            let tb = idx / rho_bins;
-            let rb = idx % rho_bins;
-            HoughLine {
-                rho: rb as f64 - diag,
-                theta: std::f64::consts::PI * tb as f64 / THETA_BINS as f64,
-                votes: v,
-            }
-        })
-        .collect();
+    lines.extend(
+        acc.iter()
+            .enumerate()
+            .filter(|&(_, &v)| v >= min_votes)
+            .map(|(idx, &v)| {
+                let tb = idx / rho_bins;
+                let rb = idx % rho_bins;
+                HoughLine {
+                    rho: rb as f64 - diag,
+                    theta: std::f64::consts::PI * tb as f64 / THETA_BINS as f64,
+                    votes: v,
+                }
+            }),
+    );
     lines.sort_by_key(|l| std::cmp::Reverse(l.votes));
     lines.truncate(8);
-    lines
 }
 
 /// The full line-following controller: camera + pipeline + PID steering.
@@ -315,6 +390,15 @@ pub struct LineFollower {
     last_steer: f64,
     /// Consecutive frames without a detected line.
     lost_frames: u32,
+    /// Reusable frame buffer (the pipeline runs every control tick;
+    /// reuse avoids a frame + accumulator allocation per tick).
+    frame: Frame,
+    /// Reusable edge-point buffer.
+    edges: Vec<(usize, usize)>,
+    /// Reusable Hough accumulator.
+    hough: HoughScratch,
+    /// Reusable detected-line buffer.
+    lines: Vec<HoughLine>,
 }
 
 impl Default for LineFollower {
@@ -338,6 +422,14 @@ impl LineFollower {
                 .with_integral_limit(0.2),
             last_steer: 0.0,
             lost_frames: 0,
+            frame: Frame {
+                width: camera.width,
+                height: camera.height,
+                pixels: Vec::new(),
+            },
+            edges: Vec::new(),
+            hough: HoughScratch::new(),
+            lines: Vec::new(),
         }
     }
 
@@ -357,14 +449,22 @@ impl LineFollower {
         dt: f64,
         rng: &mut SimRng,
     ) -> Option<f64> {
-        let frame = self.camera.capture(pose, track);
-        let edges = detect_edges(&frame);
-        let lines = hough_lines(&edges, frame.width(), frame.height(), 8, rng);
-        let best = lines.first()?;
+        self.camera.capture_into(pose, track, &mut self.frame);
+        detect_edges_into(&self.frame, &mut self.edges);
+        hough_lines_into(
+            &self.edges,
+            self.frame.width(),
+            self.frame.height(),
+            8,
+            rng,
+            &mut self.hough,
+            &mut self.lines,
+        );
+        let best = self.lines.first()?;
         // Lateral error at a mid-frame lookahead row.
-        let look_row = frame.height() as f64 * 0.5;
+        let look_row = self.frame.height() as f64 * 0.5;
         let col = best.col_at_row(look_row)?;
-        let centre = frame.width() as f64 / 2.0;
+        let centre = self.frame.width() as f64 / 2.0;
         let error_m = (col - centre) * self.camera.meters_per_col();
         // Positive error (line to the right in image = left in vehicle
         // frame, because columns grow rightward while lateral grows
@@ -625,6 +725,123 @@ mod tests {
             "heading rotated toward +y: {}",
             pose.theta
         );
+    }
+
+    /// The pre-optimization vote loop: θ, cos θ and sin θ evaluated
+    /// inline for every sampled point. The production path hoists them
+    /// into a per-call table computed with the same expressions; this
+    /// reference pins that the hoist is bitwise-neutral.
+    fn hough_reference(
+        edges: &[(usize, usize)],
+        frame_width: usize,
+        frame_height: usize,
+        min_votes: u32,
+        rng: &mut SimRng,
+    ) -> Vec<HoughLine> {
+        if edges.is_empty() {
+            return Vec::new();
+        }
+        let diag = ((frame_width * frame_width + frame_height * frame_height) as f64).sqrt();
+        let rho_bins = (2.0 * diag).ceil() as usize + 1;
+        let mut acc = vec![0u32; THETA_BINS * rho_bins];
+        let samples = edges.len().min(256);
+        for _ in 0..samples {
+            let &(row, col) = &edges[rng.below(edges.len() as u64) as usize];
+            for tb in 0..THETA_BINS {
+                let theta = std::f64::consts::PI * tb as f64 / THETA_BINS as f64;
+                let rho = col as f64 * theta.cos() + row as f64 * theta.sin();
+                let rb = (rho + diag).round() as usize;
+                if rb < rho_bins {
+                    acc[tb * rho_bins + rb] += 1;
+                }
+            }
+        }
+        let mut lines: Vec<HoughLine> = acc
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v >= min_votes)
+            .map(|(idx, &v)| {
+                let tb = idx / rho_bins;
+                let rb = idx % rho_bins;
+                HoughLine {
+                    rho: rb as f64 - diag,
+                    theta: std::f64::consts::PI * tb as f64 / THETA_BINS as f64,
+                    votes: v,
+                }
+            })
+            .collect();
+        lines.sort_by_key(|l| std::cmp::Reverse(l.votes));
+        lines.truncate(8);
+        lines
+    }
+
+    #[test]
+    fn hoisted_trig_matches_inline_reference_bitwise() {
+        let cam = CameraModel::default();
+        let track = Track::l_corner(3.0);
+        let mut rng_a = SimRng::seed_from(77);
+        let mut rng_b = SimRng::seed_from(77);
+        for i in 0..12 {
+            let pose = BicycleState {
+                x: 0.3 * f64::from(i),
+                y: 0.02 * f64::from(i),
+                theta: 0.03 * f64::from(i),
+            };
+            let frame = cam.capture(&pose, &track);
+            let edges = detect_edges(&frame);
+            let expect = hough_reference(&edges, frame.width(), frame.height(), 8, &mut rng_a);
+            let got = hough_lines(&edges, frame.width(), frame.height(), 8, &mut rng_b);
+            assert_eq!(expect.len(), got.len());
+            for (e, g) in expect.iter().zip(&got) {
+                assert_eq!(e.rho.to_bits(), g.rho.to_bits());
+                assert_eq!(e.theta.to_bits(), g.theta.to_bits());
+                assert_eq!(e.votes, g.votes);
+            }
+        }
+        // Same number of RNG draws on both paths.
+        assert_eq!(rng_a.next_u64(), rng_b.next_u64());
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_buffers_bitwise() {
+        let cam = CameraModel::default();
+        let track = Track::l_corner(3.0);
+        let mut frame = Frame {
+            width: 0,
+            height: 0,
+            pixels: Vec::new(),
+        };
+        let mut edges = Vec::new();
+        let mut scratch = HoughScratch::new();
+        let mut lines = Vec::new();
+        let mut rng_a = SimRng::seed_from(42);
+        let mut rng_b = SimRng::seed_from(42);
+        for i in 0..10 {
+            let pose = BicycleState {
+                x: 0.25 * f64::from(i),
+                y: 0.03 * f64::from(i) - 0.1,
+                theta: 0.02 * f64::from(i),
+            };
+            let fresh = cam.capture(&pose, &track);
+            cam.capture_into(&pose, &track, &mut frame);
+            assert_eq!(fresh, frame, "frame {i}");
+            let fresh_edges = detect_edges(&fresh);
+            detect_edges_into(&frame, &mut edges);
+            assert_eq!(fresh_edges, edges, "edges {i}");
+            let fresh_lines =
+                hough_lines(&fresh_edges, fresh.width(), fresh.height(), 8, &mut rng_a);
+            hough_lines_into(
+                &edges,
+                frame.width(),
+                frame.height(),
+                8,
+                &mut rng_b,
+                &mut scratch,
+                &mut lines,
+            );
+            assert_eq!(fresh_lines, lines, "lines {i}");
+        }
+        assert_eq!(rng_a.next_u64(), rng_b.next_u64());
     }
 
     proptest! {

@@ -22,4 +22,15 @@ RUNNER_THREADS=8 cargo test -q
 echo "==> detlint"
 cargo run -q -p detlint
 
+# Bench smoke: run the campaign-throughput bench in quick mode (32 runs
+# per table) so the harness, its serial-vs-parallel bit-equality
+# assertion, and the JSON writer all execute; then restore the tracked
+# baseline (the quick pass overwrites it with throwaway numbers) and
+# validate it via the bench crate's baseline test.
+echo "==> bench smoke (BENCH_QUICK=1 campaign_throughput)"
+cp BENCH_campaign.json BENCH_campaign.json.tracked
+BENCH_QUICK=1 cargo bench -q --bench campaign_throughput
+mv BENCH_campaign.json.tracked BENCH_campaign.json
+cargo test -q -p bench tracked_bench_campaign_baseline_is_valid
+
 echo "check.sh: all gates passed"

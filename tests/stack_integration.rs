@@ -138,7 +138,7 @@ fn duplicate_denm_suppressed_but_update_passes() {
     if let geonet::headers::ExtendedHeader::GeoBroadcast(ref mut gbc) = updated.extended {
         gbc.sequence_number += 1;
     }
-    updated.payload = denm.to_bytes().unwrap();
+    updated.payload = denm.to_bytes().unwrap().into();
     updated.common.payload_length = (updated.payload.len() + 4) as u16;
     assert_eq!(obu.on_packet(SimTime::from_millis(3), &updated).len(), 1);
 
@@ -149,7 +149,7 @@ fn duplicate_denm_suppressed_but_update_passes() {
     denm2.management.reference_time =
         its_messages::common::TimestampIts::new(denm2.management.reference_time.millis() + 100)
             .unwrap();
-    replay.payload = denm2.to_bytes().unwrap();
+    replay.payload = denm2.to_bytes().unwrap().into();
     replay.common.payload_length = (replay.payload.len() + 4) as u16;
     assert!(obu.on_packet(SimTime::from_millis(4), &replay).is_empty());
     let _ = action;

@@ -3,7 +3,7 @@
 
 use bench::{base_config, campaign_runner};
 use criterion::{criterion_group, criterion_main, Criterion};
-use its_testbed::ablation::{sweep_action_point_on, sweep_camera_fps_on, sweep_poll_period_on};
+use its_testbed::ablation::{sweep_action_point, sweep_camera_fps, sweep_poll_period};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -12,24 +12,24 @@ fn bench(c: &mut Criterion) {
     println!("\n== polling period ablation ==");
     println!(
         "{}",
-        sweep_poll_period_on(&runner, &base_config(), &[10, 50, 200], 10).render()
+        sweep_poll_period(&runner, &base_config(), &[10, 50, 200], 10).render()
     );
     println!("== camera FPS ablation ==");
     println!(
         "{}",
-        sweep_camera_fps_on(&runner, &base_config(), &[2.0, 4.0, 8.0], 10).render()
+        sweep_camera_fps(&runner, &base_config(), &[2.0, 4.0, 8.0], 10).render()
     );
     println!("== action point ablation ==");
     println!(
         "{}",
-        sweep_action_point_on(&runner, &base_config(), &[1.0, 1.52, 2.2], 10).render()
+        sweep_action_point(&runner, &base_config(), &[1.0, 1.52, 2.2], 10).render()
     );
 
     let mut group = c.benchmark_group("ablation");
     group.sample_size(10);
     group.bench_function("poll_period_sweep_3x4", |b| {
         b.iter(|| {
-            black_box(sweep_poll_period_on(
+            black_box(sweep_poll_period(
                 &runner,
                 &base_config(),
                 &[10, 50, 200],

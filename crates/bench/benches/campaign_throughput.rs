@@ -21,7 +21,7 @@ use bench::{
     base_config, campaign_json, campaign_json_path, validate_campaign_json, CampaignMeasurement,
     CampaignSide,
 };
-use its_testbed::experiments::{table2_on, table3_on};
+use its_testbed::experiments::{table2, table3};
 use runner::Runner;
 
 /// Counts every heap allocation the process makes — the
@@ -69,8 +69,8 @@ fn measure_side(runner: &Runner, runs: usize) -> SideResult {
     let allocs_before = ALLOC_CALLS.load(Ordering::Relaxed);
     let bytes_before = ALLOC_BYTES.load(Ordering::Relaxed);
     let base = base_config();
-    let (t2, t2_secs) = criterion::time_once(|| table2_on(runner, &base, runs));
-    let (t3, t3_secs) = criterion::time_once(|| table3_on(runner, &base, runs));
+    let (t2, t2_secs) = criterion::time_once(|| table2(runner, &base, runs));
+    let (t3, t3_secs) = criterion::time_once(|| table3(runner, &base, runs));
     let allocs = ALLOC_CALLS.load(Ordering::Relaxed) - allocs_before;
     let bytes = ALLOC_BYTES.load(Ordering::Relaxed) - bytes_before;
 

@@ -2,7 +2,7 @@
 //! total delay samples) and, per the paper's future work, fits candidate
 //! distributions to a larger campaign.
 
-use bench::base_config;
+use bench::{base_config, campaign_runner};
 use criterion::{criterion_group, criterion_main, Criterion};
 use its_testbed::experiments::fig11;
 use its_testbed::metrics::{
@@ -11,13 +11,14 @@ use its_testbed::metrics::{
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
+    let runner = campaign_runner();
     // The paper's figure: 5 samples.
-    let f = fig11(&base_config(), 5);
+    let f = fig11(&runner, &base_config(), 5);
     println!("\n{}", f.render());
 
     // §V future work: "more measurements to produce a more comprehensive
     // CDF … and possibly model it with an appropriate distribution".
-    let big = fig11(&base_config(), 150);
+    let big = fig11(&runner, &base_config(), 150);
     let normal = fit_normal(&big.edf);
     let sexp = fit_shifted_exponential(&big.edf);
     println!("150-run CDF:");

@@ -33,6 +33,7 @@ fn bench(c: &mut Criterion) {
     print!(
         "{}",
         its_testbed::congestion::sweep_station_count(
+            &its_testbed::Runner::from_env(),
             &its_testbed::congestion::CongestionConfig::default(),
             &[2, 10, 40, 120],
         )

@@ -7,7 +7,7 @@
 
 use bench::{base_config, campaign_runner, stat_line};
 use criterion::{criterion_group, criterion_main, Criterion};
-use its_testbed::experiments::{paper, table2_on};
+use its_testbed::experiments::{paper, table2};
 use its_testbed::metrics::mean;
 use its_testbed::scenario::{Scenario, ScenarioConfig};
 use std::hint::black_box;
@@ -16,7 +16,7 @@ fn bench(c: &mut Criterion) {
     let runner = campaign_runner();
     println!("\ncampaign runner: {} worker thread(s)", runner.threads());
     // The paper's table: 5 runs.
-    let t = table2_on(&runner, &base_config(), 5);
+    let t = table2(&runner, &base_config(), 5);
     println!("\n{}", t.render());
     println!(
         "paper reference: #2->#3 avg {:.1} | #3->#4 avg {:.1} | #4->#5 avg {:.1} | total avg {:.1} ms",
@@ -27,7 +27,7 @@ fn bench(c: &mut Criterion) {
     );
 
     // Larger campaign for the headline claim.
-    let big = table2_on(&runner, &base_config(), 200);
+    let big = table2(&runner, &base_config(), 200);
     println!("\n200-run campaign:");
     println!("  {}", stat_line("#2->#3 (ms)", &big.interval_2_3));
     println!("  {}", stat_line("#3->#4 (ms)", &big.interval_3_4));

@@ -4,7 +4,7 @@
 
 use bench::{base_config, campaign_runner, stat_line};
 use criterion::{criterion_group, criterion_main, Criterion};
-use its_testbed::experiments::{paper, table3_on};
+use its_testbed::experiments::{paper, table3};
 use its_testbed::metrics::mean;
 use its_testbed::scaling::{extrapolate_braking_distance, BrakingProfile};
 use std::hint::black_box;
@@ -14,7 +14,7 @@ fn bench(c: &mut Criterion) {
     let runner = campaign_runner();
     println!("\ncampaign runner: {} worker thread(s)", runner.threads());
     // The paper's table: 7 runs.
-    let t = table3_on(&runner, &base_config(), 7);
+    let t = table3(&runner, &base_config(), 7);
     println!("\n{}", t.render());
     println!(
         "paper reference: {:?} (avg {:.2} m, variance 0.0022)",
@@ -22,7 +22,7 @@ fn bench(c: &mut Criterion) {
         mean(&paper::BRAKING)
     );
 
-    let big = table3_on(&runner, &base_config(), 100);
+    let big = table3(&runner, &base_config(), 100);
     println!("\n100-run campaign:");
     println!("  {}", stat_line("braking distance (m)", &big.braking_m));
 

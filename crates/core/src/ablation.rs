@@ -4,20 +4,21 @@
 //! quality. Each sweep runs a batch of scenarios per parameter value and
 //! reports the metrics that parameter actually moves.
 //!
-//! Every sweep executes on the deterministic parallel campaign runner
-//! (see `crates/runner` and DESIGN.md §8): the `(parameter, run)` grid
-//! is flattened into one job list indexed in row-major order, jobs run
-//! across worker threads with static chunked assignment, and results
-//! merge back in index order — so a [`SweepTable`] is bitwise identical
-//! for every thread count. The `sweep_*` entry points pick the worker
-//! count from `RUNNER_THREADS` (or the machine); the `sweep_*_on`
-//! variants take an explicit [`Runner`].
+//! Every sweep is expressed as a grid of [`CampaignSpec`]s — one
+//! campaign of `runs` consecutive seeds per parameter value — and
+//! executed through the generic [`Executor`] interface (DESIGN.md §8,
+//! §10): serial, the in-process thread [`crate::Runner`], and the
+//! multi-process shard coordinator all produce byte-identical
+//! [`SweepTable`]s because they share the same static-chunk/index-merge
+//! contract. Executors with a worker pool flatten the `(parameter, run)`
+//! grid into a single row-major job list so small per-parameter
+//! campaigns still fill every worker.
 
+use crate::campaign::{CampaignSpec, Executor};
 use crate::metrics::{mean, variance};
-use crate::scenario::{Scenario, ScenarioConfig};
+use crate::scenario::ScenarioConfig;
 use openc2x::node::PollingModel;
 use perception::camera::RoadSideCamera;
-use runner::Runner;
 use sim_core::{NtpModel, SimDuration};
 
 /// A rendered sweep: one row per parameter value, named metric columns.
@@ -64,18 +65,11 @@ impl SweepTable {
     }
 }
 
-/// Runs the `runs`-seed campaign for `cfg` on `runner`: run `i` uses
-/// seed `cfg.seed + i`, and the records come back in seed order
-/// regardless of the worker count.
-pub fn campaign_on(runner: &Runner, cfg: &ScenarioConfig, runs: usize) -> Vec<crate::RunRecord> {
-    runner.run(runs, |i| Scenario::run_seeded(cfg, i as u64))
-}
-
-/// The sweep core: flattens the `(parameter, run)` grid into a single
-/// row-major job list, executes it on `runner`, and folds each
-/// parameter's `runs` consecutive records into one table row.
-fn sweep_rows_on<P: Copy + Sync>(
-    runner: &Runner,
+/// The sweep core: one [`CampaignSpec`] of `runs` consecutive seeds per
+/// parameter value, executed as a grid on `exec`, each parameter's
+/// records folded into one table row.
+fn sweep_rows<P: Copy>(
+    exec: &impl Executor,
     params: &[P],
     runs: usize,
     make_cfg: impl Fn(P) -> ScenarioConfig,
@@ -84,13 +78,14 @@ fn sweep_rows_on<P: Copy + Sync>(
     if runs == 0 {
         return params.iter().map(|&p| row(p, &[])).collect();
     }
-    let cfgs: Vec<ScenarioConfig> = params.iter().map(|&p| make_cfg(p)).collect();
-    let records = runner.run(params.len() * runs, |j| {
-        Scenario::run_seeded(&cfgs[j / runs], (j % runs) as u64)
-    });
+    let specs: Vec<CampaignSpec> = params
+        .iter()
+        .map(|&p| CampaignSpec::new(make_cfg(p), runs))
+        .collect();
+    let grid = exec.execute_grid(&specs);
     params
         .iter()
-        .zip(records.chunks(runs))
+        .zip(&grid)
         .map(|(&p, recs)| row(p, recs))
         .collect()
 }
@@ -109,19 +104,14 @@ fn completed_metric(
 
 /// Sweeps the vehicle's `request_denm` polling period: the dominant term
 /// of the #4→#5 interval.
-pub fn sweep_poll_period(base: &ScenarioConfig, periods_ms: &[u64], runs: usize) -> SweepTable {
-    sweep_poll_period_on(&Runner::from_env(), base, periods_ms, runs)
-}
-
-/// [`sweep_poll_period`] on an explicit runner.
-pub fn sweep_poll_period_on(
-    runner: &Runner,
+pub fn sweep_poll_period(
+    exec: &impl Executor,
     base: &ScenarioConfig,
     periods_ms: &[u64],
     runs: usize,
 ) -> SweepTable {
-    let rows = sweep_rows_on(
-        runner,
+    let rows = sweep_rows(
+        exec,
         periods_ms,
         runs,
         |p| ScenarioConfig {
@@ -154,19 +144,14 @@ pub fn sweep_poll_period_on(
 }
 
 /// Sweeps the camera's processed frame rate: bounds the step-1→2 gap.
-pub fn sweep_camera_fps(base: &ScenarioConfig, fps_list: &[f64], runs: usize) -> SweepTable {
-    sweep_camera_fps_on(&Runner::from_env(), base, fps_list, runs)
-}
-
-/// [`sweep_camera_fps`] on an explicit runner.
-pub fn sweep_camera_fps_on(
-    runner: &Runner,
+pub fn sweep_camera_fps(
+    exec: &impl Executor,
     base: &ScenarioConfig,
     fps_list: &[f64],
     runs: usize,
 ) -> SweepTable {
-    let rows = sweep_rows_on(
-        runner,
+    let rows = sweep_rows(
+        exec,
         fps_list,
         runs,
         |fps| ScenarioConfig {
@@ -207,19 +192,14 @@ pub fn sweep_camera_fps_on(
 
 /// Sweeps the Action Point placement: earlier warnings leave more margin
 /// to the camera, later ones erode it.
-pub fn sweep_action_point(base: &ScenarioConfig, points_m: &[f64], runs: usize) -> SweepTable {
-    sweep_action_point_on(&Runner::from_env(), base, points_m, runs)
-}
-
-/// [`sweep_action_point`] on an explicit runner.
-pub fn sweep_action_point_on(
-    runner: &Runner,
+pub fn sweep_action_point(
+    exec: &impl Executor,
     base: &ScenarioConfig,
     points_m: &[f64],
     runs: usize,
 ) -> SweepTable {
-    let rows = sweep_rows_on(
-        runner,
+    let rows = sweep_rows(
+        exec,
         points_m,
         runs,
         |ap| ScenarioConfig {
@@ -250,19 +230,14 @@ pub fn sweep_action_point_on(
 
 /// Sweeps the approach speed: braking distance grows superlinearly,
 /// eventually eating the margin.
-pub fn sweep_speed(base: &ScenarioConfig, speeds_mps: &[f64], runs: usize) -> SweepTable {
-    sweep_speed_on(&Runner::from_env(), base, speeds_mps, runs)
-}
-
-/// [`sweep_speed`] on an explicit runner.
-pub fn sweep_speed_on(
-    runner: &Runner,
+pub fn sweep_speed(
+    exec: &impl Executor,
     base: &ScenarioConfig,
     speeds_mps: &[f64],
     runs: usize,
 ) -> SweepTable {
-    let rows = sweep_rows_on(
-        runner,
+    let rows = sweep_rows(
+        exec,
         speeds_mps,
         runs,
         |v| {
@@ -300,19 +275,14 @@ pub fn sweep_speed_on(
 
 /// Sweeps NTP synchronisation quality: measured (cross-clock) interval
 /// variance grows with the offset spread while true latency is unchanged.
-pub fn sweep_ntp_quality(base: &ScenarioConfig, offset_std_us: &[f64], runs: usize) -> SweepTable {
-    sweep_ntp_quality_on(&Runner::from_env(), base, offset_std_us, runs)
-}
-
-/// [`sweep_ntp_quality`] on an explicit runner.
-pub fn sweep_ntp_quality_on(
-    runner: &Runner,
+pub fn sweep_ntp_quality(
+    exec: &impl Executor,
     base: &ScenarioConfig,
     offset_std_us: &[f64],
     runs: usize,
 ) -> SweepTable {
-    let rows = sweep_rows_on(
-        runner,
+    let rows = sweep_rows(
+        exec,
         offset_std_us,
         runs,
         |std_us| ScenarioConfig {
@@ -355,19 +325,14 @@ pub fn sweep_ntp_quality_on(
 /// Sweeps the transmit power: DENM delivery ratio and completion rate
 /// collapse below the link budget (§IV-C's call to "properly model
 /// attenuation" — here the knob is on the transmitter instead).
-pub fn sweep_tx_power(base: &ScenarioConfig, dbm_values: &[f64], runs: usize) -> SweepTable {
-    sweep_tx_power_on(&Runner::from_env(), base, dbm_values, runs)
-}
-
-/// [`sweep_tx_power`] on an explicit runner.
-pub fn sweep_tx_power_on(
-    runner: &Runner,
+pub fn sweep_tx_power(
+    exec: &impl Executor,
     base: &ScenarioConfig,
     dbm_values: &[f64],
     runs: usize,
 ) -> SweepTable {
-    let rows = sweep_rows_on(
-        runner,
+    let rows = sweep_rows(
+        exec,
         dbm_values,
         runs,
         |dbm| {
@@ -399,19 +364,14 @@ pub fn sweep_tx_power_on(
 
 /// Sweeps the log-normal shadowing σ: heavier fading widens the delivery
 /// distribution without moving the mean link budget.
-pub fn sweep_shadowing(base: &ScenarioConfig, sigma_db: &[f64], runs: usize) -> SweepTable {
-    sweep_shadowing_on(&Runner::from_env(), base, sigma_db, runs)
-}
-
-/// [`sweep_shadowing`] on an explicit runner.
-pub fn sweep_shadowing_on(
-    runner: &Runner,
+pub fn sweep_shadowing(
+    exec: &impl Executor,
     base: &ScenarioConfig,
     sigma_db: &[f64],
     runs: usize,
 ) -> SweepTable {
-    let rows = sweep_rows_on(
-        runner,
+    let rows = sweep_rows(
+        exec,
         sigma_db,
         runs,
         |sigma| {
@@ -440,6 +400,7 @@ pub fn sweep_shadowing_on(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Runner;
 
     fn base() -> ScenarioConfig {
         ScenarioConfig {
@@ -448,9 +409,13 @@ mod tests {
         }
     }
 
+    fn exec() -> Runner {
+        Runner::from_env()
+    }
+
     #[test]
     fn poll_period_sweep_monotone() {
-        let t = sweep_poll_period(&base(), &[10, 50, 150], 8);
+        let t = sweep_poll_period(&exec(), &base(), &[10, 50, 150], 8);
         let col = t.column("#4->#5 (ms)");
         assert!(col[0] < col[1] && col[1] < col[2], "{col:?}");
         assert!(t.render().contains("poll period"));
@@ -458,14 +423,14 @@ mod tests {
 
     #[test]
     fn fps_sweep_shrinks_detection_gap() {
-        let t = sweep_camera_fps(&base(), &[2.0, 8.0], 8);
+        let t = sweep_camera_fps(&exec(), &base(), &[2.0, 8.0], 8);
         let gap = t.column("#1->#2 gap (ms)");
         assert!(gap[0] > gap[1], "{gap:?}");
     }
 
     #[test]
     fn action_point_sweep_margin_grows_with_distance() {
-        let t = sweep_action_point(&base(), &[1.0, 1.52, 2.2], 8);
+        let t = sweep_action_point(&exec(), &base(), &[1.0, 1.52, 2.2], 8);
         let margin = t.column("halt margin (m)");
         assert!(
             margin[0] < margin[2],
@@ -475,7 +440,7 @@ mod tests {
 
     #[test]
     fn speed_sweep_braking_superlinear() {
-        let t = sweep_speed(&base(), &[1.0, 2.0], 8);
+        let t = sweep_speed(&exec(), &base(), &[1.0, 2.0], 8);
         let braking = t.column("braking (m)");
         assert!(
             braking[1] > 1.7 * braking[0],
@@ -485,14 +450,14 @@ mod tests {
 
     #[test]
     fn ntp_sweep_variance_grows() {
-        let t = sweep_ntp_quality(&base(), &[0.0, 10_000.0], 12);
+        let t = sweep_ntp_quality(&exec(), &base(), &[0.0, 10_000.0], 12);
         let var = t.column("#3->#4 var");
         assert!(var[1] > var[0], "{var:?}");
     }
 
     #[test]
     fn tx_power_sweep_shows_link_budget_cliff() {
-        let t = sweep_tx_power(&base(), &[-45.0, 23.0], 10);
+        let t = sweep_tx_power(&exec(), &base(), &[-45.0, 23.0], 10);
         let delivery = t.column("DENM delivery");
         assert!(delivery[0] < 0.5, "starved link fails: {delivery:?}");
         assert!(delivery[1] > 0.9, "nominal power delivers: {delivery:?}");
@@ -502,7 +467,7 @@ mod tests {
     fn shadowing_sweep_softens_the_cliff() {
         // At the margin power, zero shadowing is deterministic (all-or-
         // nothing); heavy shadowing spreads delivery into a fraction.
-        let t = sweep_shadowing(&base(), &[0.0, 12.0], 16);
+        let t = sweep_shadowing(&exec(), &base(), &[0.0, 12.0], 16);
         let delivery = t.column("DENM delivery");
         for d in &delivery {
             assert!((0.0..=1.0).contains(d));
@@ -514,18 +479,15 @@ mod tests {
     }
 
     #[test]
-    fn campaign_on_matches_serial_seed_schedule() {
-        let cfg = base();
-        let parallel = campaign_on(&Runner::new(4), &cfg, 6);
-        for (i, record) in parallel.iter().enumerate() {
-            let serial = Scenario::run_seeded(&cfg, i as u64);
-            assert_eq!(record.trace.digest(), serial.trace.digest(), "run {i}");
-        }
+    fn sweeps_identical_across_executors() {
+        let serial = sweep_poll_period(&crate::campaign::Serial, &base(), &[10, 150], 4);
+        let threaded = sweep_poll_period(&Runner::new(8), &base(), &[10, 150], 4);
+        assert_eq!(serial, threaded);
     }
 
     #[test]
     fn zero_runs_still_renders_rows() {
-        let t = sweep_poll_period(&base(), &[10, 50], 0);
+        let t = sweep_poll_period(&exec(), &base(), &[10, 50], 0);
         assert_eq!(t.rows.len(), 2);
         assert!(t.rows.iter().all(|(_, vals)| vals[0].is_nan()));
     }
@@ -533,7 +495,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "unknown sweep column")]
     fn unknown_column_panics() {
-        let t = sweep_poll_period(&base(), &[50], 2);
+        let t = sweep_poll_period(&exec(), &base(), &[50], 2);
         let _ = t.column("nope");
     }
 }

@@ -147,21 +147,18 @@ fn busy_time_ns_take(acc: &mut u64) -> u64 {
     std::mem::take(acc)
 }
 
-/// Renders a station-count sweep as a table, one fleet per worker on
-/// the campaign runner picked from `RUNNER_THREADS`/the machine.
-pub fn sweep_station_count(base: &CongestionConfig, counts: &[usize]) -> String {
-    sweep_station_count_on(&runner::Runner::from_env(), base, counts)
-}
-
-/// [`sweep_station_count`] on an explicit runner. Each station count is
-/// an independent seeded simulation; rows render in `counts` order, so
-/// the table is identical for every thread count.
-pub fn sweep_station_count_on(
-    runner: &runner::Runner,
+/// Renders a station-count sweep as a table, one whole simulated fleet
+/// per job on `exec` (via [`Executor::run_indexed`] — congestion jobs
+/// are not scenario runs, so multi-process executors fall back to their
+/// in-process path). Each station count is an independent seeded
+/// simulation; rows render in `counts` order, so the table is identical
+/// for every executor.
+pub fn sweep_station_count(
+    exec: &impl crate::campaign::Executor,
     base: &CongestionConfig,
     counts: &[usize],
 ) -> String {
-    let records = runner.run(counts.len(), |i| {
+    let records = exec.run_indexed(counts.len(), |i| {
         run_congestion(&CongestionConfig {
             n_stations: counts[i],
             ..base.clone()
@@ -248,6 +245,7 @@ mod tests {
     #[test]
     fn sweep_renders() {
         let s = sweep_station_count(
+            &crate::Runner::from_env(),
             &CongestionConfig {
                 duration: SimDuration::from_secs(5),
                 ..CongestionConfig::default()

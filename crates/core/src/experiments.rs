@@ -10,10 +10,10 @@
 //! | Fig. 10 | [`fig10`] | frame-quantised detection-to-stop |
 //! | Fig. 11 | [`fig11`] | EDF of total delay, all < 100 ms |
 
+use crate::campaign::{CampaignSpec, Executor};
 use crate::metrics::{mean, variance, Edf};
 use crate::scenario::{RunRecord, Scenario, ScenarioConfig};
 use its_messages::cause_codes::TABLE_I_ROWS;
-use runner::Runner;
 
 /// Paper's Table II per-run values, for side-by-side comparison.
 pub mod paper {
@@ -74,28 +74,17 @@ impl Table2 {
     }
 }
 
-/// Runs `runs` collision-avoidance scenarios and extracts Table II.
-///
-/// The campaign executes on the parallel runner picked from
-/// `RUNNER_THREADS`/the machine; see [`table2_on`].
+/// Runs `runs` collision-avoidance scenarios on `exec` and extracts
+/// Table II. Run `i` uses seed `base.seed + i` and the per-run rows are
+/// extracted in seed order, so the table is bitwise identical for every
+/// executor — serial, threaded, or sharded.
 ///
 /// # Panics
 ///
 /// Panics if a run fails to complete the pipeline (should not happen at
 /// lab scale with default configuration).
-pub fn table2(base: &ScenarioConfig, runs: usize) -> Table2 {
-    table2_on(&Runner::from_env(), base, runs)
-}
-
-/// [`table2`] on an explicit runner. Run `i` uses seed `base.seed + i`
-/// and the per-run rows are extracted in seed order, so the table is
-/// bitwise identical for every thread count.
-///
-/// # Panics
-///
-/// Panics if a run fails to complete the pipeline.
-pub fn table2_on(runner: &Runner, base: &ScenarioConfig, runs: usize) -> Table2 {
-    let records = crate::ablation::campaign_on(runner, base, runs);
+pub fn table2(exec: &impl Executor, base: &ScenarioConfig, runs: usize) -> Table2 {
+    let records = CampaignSpec::new(base.clone(), runs).execute(exec);
     let mut t = Table2 {
         interval_2_3: Vec::with_capacity(runs),
         interval_3_4: Vec::with_capacity(runs),
@@ -144,14 +133,10 @@ impl Fig11 {
     }
 }
 
-/// Runs the scenario `runs` times and builds the total-delay EDF.
-pub fn fig11(base: &ScenarioConfig, runs: usize) -> Fig11 {
-    fig11_on(&Runner::from_env(), base, runs)
-}
-
-/// [`fig11`] on an explicit runner.
-pub fn fig11_on(runner: &Runner, base: &ScenarioConfig, runs: usize) -> Fig11 {
-    let t = table2_on(runner, base, runs);
+/// Runs the scenario `runs` times on `exec` and builds the total-delay
+/// EDF.
+pub fn fig11(exec: &impl Executor, base: &ScenarioConfig, runs: usize) -> Fig11 {
+    let t = table2(exec, base, runs);
     Fig11 {
         edf: Edf::from_samples(t.total),
     }
@@ -187,23 +172,20 @@ impl Table3 {
     }
 }
 
-/// Runs `runs` scenarios and collects braking distances.
-pub fn table3(base: &ScenarioConfig, runs: usize) -> Table3 {
-    table3_on(&Runner::from_env(), base, runs)
-}
-
-/// [`table3`] on an explicit runner. Run `i` keeps its historical seed
-/// `base.seed + 1000 + i`, so the table matches the serial campaign.
+/// Runs `runs` scenarios on `exec` and collects braking distances. Run
+/// `i` keeps its historical seed `base.seed + 1000 + i`
+/// ([`crate::campaign::SeedSchedule::Offset`]), so the table matches the
+/// pre-redesign serial campaign bit for bit.
 ///
 /// # Panics
 ///
 /// Panics if a run fails to complete.
-pub fn table3_on(runner: &Runner, base: &ScenarioConfig, runs: usize) -> Table3 {
-    let braking = runner.run(runs, |i| {
-        Scenario::run_seeded(base, 1000 + i as u64)
-            .braking_distance_m()
-            .expect("completed run")
-    });
+pub fn table3(exec: &impl Executor, base: &ScenarioConfig, runs: usize) -> Table3 {
+    let records = CampaignSpec::with_seed_offset(base.clone(), 1000, runs).execute(exec);
+    let braking = records
+        .iter()
+        .map(|r| r.braking_distance_m().expect("completed run"))
+        .collect();
     Table3 { braking_m: braking }
 }
 
@@ -275,6 +257,7 @@ pub fn table1() -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Runner;
 
     fn quick_config() -> ScenarioConfig {
         ScenarioConfig {
@@ -283,9 +266,13 @@ mod tests {
         }
     }
 
+    fn exec() -> Runner {
+        Runner::from_env()
+    }
+
     #[test]
     fn table2_shape_matches_paper() {
-        let t = table2(&quick_config(), 5);
+        let t = table2(&exec(), &quick_config(), 5);
         // Row structure.
         assert_eq!(t.total.len(), 5);
         // Shape claims from the paper: the radio hop is the smallest
@@ -315,7 +302,7 @@ mod tests {
 
     #[test]
     fn table2_averages_near_paper_values() {
-        let t = table2(&quick_config(), 30);
+        let t = table2(&exec(), &quick_config(), 30);
         let m23 = mean(&t.interval_2_3);
         let m34 = mean(&t.interval_3_4);
         let m45 = mean(&t.interval_4_5);
@@ -330,7 +317,7 @@ mod tests {
 
     #[test]
     fn fig11_edf_under_100ms() {
-        let f = fig11(&quick_config(), 10);
+        let f = fig11(&exec(), &quick_config(), 10);
         assert_eq!(f.edf.len(), 10);
         assert!(f.edf.max() < 100.0);
         assert!(f.render().contains("FIG 11"));
@@ -338,7 +325,7 @@ mod tests {
 
     #[test]
     fn table3_band_and_variance() {
-        let t = table3(&quick_config(), 7);
+        let t = table3(&exec(), &quick_config(), 7);
         assert_eq!(t.braking_m.len(), 7);
         for &b in &t.braking_m {
             assert!((0.25..=0.50).contains(&b), "braking {b}");

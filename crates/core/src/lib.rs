@@ -36,18 +36,22 @@
 //! [`scenario::DenmLink::Cellular`], and the blind-corner ablation in
 //! `benches`) implement the paper's §V future work.
 //!
-//! Campaigns (the `experiments` tables and every `ablation` sweep)
-//! execute on the deterministic parallel runner ([`Runner`], crate
-//! `runner`): seeded runs spread across worker threads with static
-//! chunked assignment and merge in seed order, so results are bitwise
-//! identical for any thread count. Set `RUNNER_THREADS` to override the
-//! worker count, or use the `*_on` variants with an explicit runner.
+//! Campaigns (the `experiments` tables and every `ablation` sweep) are
+//! [`campaign::CampaignSpec`]s executed through the generic
+//! [`campaign::Executor`] interface: [`campaign::Serial`] (a plain
+//! loop), the deterministic thread pool [`Runner`] (crate `runner`,
+//! `RUNNER_THREADS` overrides the worker count), or the multi-process
+//! shard coordinator (crate `shard`, DESIGN.md §10). All executors share
+//! the static-chunk/index-merge contract, so results are bitwise
+//! identical however a campaign is run. [`wire`] gives [`RunRecord`] the
+//! versioned binary encoding the shard protocol ships between processes.
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod campaign;
 pub mod congestion;
 pub mod experiments;
 pub mod intersection;
@@ -55,6 +59,8 @@ pub mod metrics;
 pub mod platoon;
 pub mod scaling;
 pub mod scenario;
+pub mod wire;
 
+pub use campaign::{CampaignSpec, Executor, SeedSchedule, Serial};
 pub use runner::Runner;
 pub use scenario::{RunRecord, Scenario, ScenarioConfig};

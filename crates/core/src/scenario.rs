@@ -158,7 +158,7 @@ impl Default for ScenarioConfig {
 const GEO_ORIGIN: (f64, f64) = (41.178, -8.608);
 
 /// Result of one run: the six step timestamps plus derived quantities.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunRecord {
     /// Step 1 — true Action Point crossing (simulation time).
     pub step1_crossing: Option<SimTime>,

@@ -1,25 +1,35 @@
-//! Minimal big-endian byte reader used by the header parsers.
+//! Minimal panic-free big-endian byte reader/writer.
+//!
+//! Originally private to the GeoNetworking header parsers, the pair is
+//! public because it is the workspace's reference framing style: a
+//! failed read returns a typed [`GeonetError::Truncated`] and consumes
+//! nothing, so decoders layered on top (the `its-testbed` `RunRecord`
+//! wire codec, the shard campaign protocol) inherit the
+//! truncation-never-panics property the property tests pin.
 
 use crate::error::GeonetError;
 use crate::Result;
 
 /// Sequential big-endian reader over a byte slice.
 #[derive(Debug)]
-pub(crate) struct ByteReader<'a> {
+pub struct ByteReader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> ByteReader<'a> {
-    pub(crate) fn new(buf: &'a [u8]) -> Self {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
         Self { buf, pos: 0 }
     }
 
-    pub(crate) fn remaining(&self) -> usize {
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
         self.buf.len() - self.pos
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+    /// Consumes the next `n` bytes; a shortage consumes nothing.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         if self.remaining() < n {
             return Err(GeonetError::Truncated {
                 needed: n,
@@ -31,32 +41,38 @@ impl<'a> ByteReader<'a> {
         Ok(s)
     }
 
-    pub(crate) fn u8(&mut self) -> Result<u8> {
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8> {
         Ok(self.take(1)?[0])
     }
 
-    pub(crate) fn u16(&mut self) -> Result<u16> {
+    /// Reads a big-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16> {
         let b = self.take(2)?;
         Ok(u16::from_be_bytes([b[0], b[1]]))
     }
 
-    pub(crate) fn u32(&mut self) -> Result<u32> {
+    /// Reads a big-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
         let b = self.take(4)?;
         Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    pub(crate) fn i32(&mut self) -> Result<i32> {
+    /// Reads a big-endian `i32`.
+    pub fn i32(&mut self) -> Result<i32> {
         Ok(self.u32()? as i32)
     }
 
-    pub(crate) fn u64(&mut self) -> Result<u64> {
+    /// Reads a big-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
         let b = self.take(8)?;
         Ok(u64::from_be_bytes([
             b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
         ]))
     }
 
-    pub(crate) fn rest(&mut self) -> &'a [u8] {
+    /// Consumes and returns everything left.
+    pub fn rest(&mut self) -> &'a [u8] {
         let s = &self.buf[self.pos..];
         self.pos = self.buf.len();
         s
@@ -64,11 +80,16 @@ impl<'a> ByteReader<'a> {
 }
 
 /// Big-endian writer helpers over a `Vec<u8>`.
-pub(crate) trait ByteWriterExt {
+pub trait ByteWriterExt {
+    /// Appends one byte.
     fn put_u8(&mut self, v: u8);
+    /// Appends a big-endian `u16`.
     fn put_u16(&mut self, v: u16);
+    /// Appends a big-endian `u32`.
     fn put_u32(&mut self, v: u32);
+    /// Appends a big-endian `i32`.
     fn put_i32(&mut self, v: i32);
+    /// Appends a big-endian `u64`.
     fn put_u64(&mut self, v: u64);
 }
 

@@ -54,7 +54,7 @@
 
 pub mod area;
 pub mod btp;
-mod bytesio;
+pub mod bytesio;
 mod error;
 pub mod forwarding;
 pub mod headers;

@@ -71,11 +71,18 @@ impl Runner {
     }
 
     /// A runner honouring the `RUNNER_THREADS` environment variable,
-    /// falling back to the machine's available parallelism.
+    /// falling back to the machine's available parallelism when it is
+    /// unset.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a clear message when `RUNNER_THREADS` is set but is
+    /// not a positive integer (`0`, negative, garbage) — a silently
+    /// ignored override would hide configuration mistakes.
     pub fn from_env() -> Self {
         let configured = std::env::var(THREADS_ENV)
             .ok()
-            .and_then(|v| parse_threads(&v));
+            .map(|v| parse_threads(&v).unwrap_or_else(|e| panic!("{THREADS_ENV}: {e}")));
         Self::new(
             configured.unwrap_or_else(|| thread::available_parallelism().map_or(1, |n| n.get())),
         )
@@ -142,18 +149,69 @@ impl Default for Runner {
     }
 }
 
-/// Parses a `RUNNER_THREADS`-style value; `None` for unparsable or zero.
-pub fn parse_threads(value: &str) -> Option<usize> {
-    match value.trim().parse::<usize>() {
-        Ok(0) | Err(_) => None,
-        Ok(n) => Some(n),
+/// A thread-count value that could not be parsed.
+///
+/// Zero is rejected on purpose: a campaign with no workers cannot make
+/// progress, and `0` as "auto" would be ambiguous with a typo.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadsError {
+    value: String,
+}
+
+impl std::fmt::Display for ThreadsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid thread count `{}`: expected a positive integer (1, 2, 8, ...)",
+            self.value
+        )
     }
+}
+
+impl std::error::Error for ThreadsError {}
+
+/// Parses a thread-count value (`RUNNER_THREADS`, `--threads`).
+///
+/// The single parsing authority for worker counts: [`Runner::from_env`]
+/// and the examples' `--threads` flags all route through here, so `0`
+/// and garbage are rejected with the same clear error everywhere.
+pub fn parse_threads(value: &str) -> Result<usize, ThreadsError> {
+    match value.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(ThreadsError {
+            value: value.trim().to_owned(),
+        }),
+    }
+}
+
+/// Scans command-line arguments for `--threads N` / `--threads=N`.
+///
+/// Returns `Ok(None)` when the flag is absent, `Ok(Some(n))` for a valid
+/// count, and a [`ThreadsError`] for a missing or invalid value — the
+/// shared helper behind every example binary's flag parsing.
+pub fn threads_flag(args: impl IntoIterator<Item = String>) -> Result<Option<usize>, ThreadsError> {
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--threads" {
+            let value = it.next().unwrap_or_default();
+            return parse_threads(&value).map(Some);
+        }
+        if let Some(v) = arg.strip_prefix("--threads=") {
+            return parse_threads(v).map(Some);
+        }
+    }
+    Ok(None)
 }
 
 /// The contiguous index range `[lo, hi)` assigned to worker `w` of
 /// `workers` over `jobs` items: balanced static chunks, the first
 /// `jobs % workers` chunks one item larger.
-fn chunk_bounds(jobs: usize, workers: usize, w: usize) -> (usize, usize) {
+///
+/// This is the chunk-assignment contract shared by the in-process
+/// thread pool and the multi-process shard coordinator (`crates/shard`):
+/// any executor that assigns chunk `w` with these bounds and merges
+/// chunks in `w` order reproduces the serial job order exactly.
+pub fn chunk_bounds(jobs: usize, workers: usize, w: usize) -> (usize, usize) {
     let base = jobs / workers;
     let extra = jobs % workers;
     let lo = w * base + w.min(extra);
@@ -221,12 +279,26 @@ mod tests {
 
     #[test]
     fn parse_threads_accepts_positive_integers_only() {
-        assert_eq!(parse_threads("4"), Some(4));
-        assert_eq!(parse_threads(" 12 "), Some(12));
-        assert_eq!(parse_threads("0"), None);
-        assert_eq!(parse_threads("-3"), None);
-        assert_eq!(parse_threads("eight"), None);
-        assert_eq!(parse_threads(""), None);
+        assert_eq!(parse_threads("4"), Ok(4));
+        assert_eq!(parse_threads(" 12 "), Ok(12));
+        for bad in ["0", "-3", "eight", ""] {
+            let err = parse_threads(bad).unwrap_err();
+            assert!(
+                err.to_string().contains("positive integer"),
+                "error for {bad:?} should explain the constraint: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn threads_flag_finds_both_spellings() {
+        let args = |v: &[&str]| v.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>();
+        assert_eq!(threads_flag(args(&["prog", "--threads", "4"])), Ok(Some(4)));
+        assert_eq!(threads_flag(args(&["prog", "--threads=7"])), Ok(Some(7)));
+        assert_eq!(threads_flag(args(&["prog", "--other"])), Ok(None));
+        assert!(threads_flag(args(&["prog", "--threads", "0"])).is_err());
+        assert!(threads_flag(args(&["prog", "--threads"])).is_err());
+        assert!(threads_flag(args(&["prog", "--threads=zero"])).is_err());
     }
 
     #[test]

@@ -1,0 +1,791 @@
+//! Multi-process campaign executor: deterministic sharding across
+//! worker processes (DESIGN.md §10).
+//!
+//! The in-process thread [`runner::Runner`] parallelises a campaign with
+//! static contiguous chunks merged in index order. This crate extends
+//! the same contract across *processes*: a coordinator re-execs the
+//! current binary in a hidden `--shard-worker` mode, assigns each worker
+//! a contiguous seed-index chunk computed with the very same
+//! [`runner::chunk_bounds`] math, receives length-prefixed
+//! [`RunRecord`] frames ([`its_testbed::wire`]) over a stdout pipe, and
+//! merges chunks in worker order. Because jobs are pure functions of
+//! their index and the chunk/merge math is shared, shard-mode aggregates
+//! are **bitwise identical** to serial and to the thread runner at every
+//! worker count, including 1.
+//!
+//! # How a campaign crosses the process boundary
+//!
+//! Closures cannot be sent to another process, so workers *re-derive*
+//! the campaign from code: the host binary registers named campaigns in
+//! a [`CampaignRegistry`] (a name plus a plain `fn() -> Vec<CampaignSpec>`)
+//! and calls [`worker_main_if_requested`] first thing in `main`. The
+//! coordinator sends only the campaign name, a fingerprint of the specs
+//! it expects ([`its_testbed::campaign::grid_fingerprint`]), and the
+//! chunk bounds; a worker whose derived specs do not match the
+//! fingerprint refuses the assignment, and the coordinator re-executes
+//! the chunk in-process — degraded to local execution, never to wrong
+//! results.
+//!
+//! # Failure handling
+//!
+//! A worker that dies, times out, returns a bad exit status, or produces
+//! an unparseable / wrong-length result stream has its chunk
+//! deterministically re-executed in-process by the coordinator. The
+//! merged output is therefore identical whether every worker succeeded
+//! or every worker was killed — [`ShardExecutor::fallback_chunks`]
+//! reports how many chunks took the fallback path so tests can assert
+//! the recovery actually happened.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use its_testbed::campaign::{CampaignSpec, Executor, Serial};
+//! use its_testbed::ScenarioConfig;
+//! use shard::{CampaignRegistry, ShardExecutor};
+//!
+//! fn demo_grid() -> Vec<CampaignSpec> {
+//!     vec![CampaignSpec::new(ScenarioConfig::default(), 16)]
+//! }
+//!
+//! fn main() {
+//!     let registry = CampaignRegistry::new().register("demo", demo_grid);
+//!     // Must run before anything else: re-exec'd children enter here.
+//!     shard::worker_main_if_requested(&registry);
+//!
+//!     let exec = ShardExecutor::new(4, "demo", &registry).unwrap();
+//!     let spec = &demo_grid()[0];
+//!     assert_eq!(spec.execute(&exec), spec.execute(&Serial));
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+#![warn(missing_docs)]
+
+use geonet::bytesio::{ByteReader, ByteWriterExt};
+use its_testbed::campaign::{grid_fingerprint, CampaignSpec, Executor};
+use its_testbed::RunRecord;
+use std::io::{Read, Write};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// The hidden argv flag that switches a re-exec'd binary into worker
+/// mode.
+pub const WORKER_FLAG: &str = "--shard-worker";
+
+/// Fault-injection environment variable: a comma-separated list of
+/// worker indices that must die mid-protocol (after the result magic,
+/// before any record). Used by the determinism tests to exercise the
+/// coordinator's recovery path.
+pub const KILL_ENV: &str = "SHARD_INJECT_KILL";
+
+/// Wire version of the shard assignment/result protocol.
+const PROTOCOL_VERSION: u8 = 1;
+/// Assignment frame magic (coordinator → worker stdin).
+const ASSIGN_MAGIC: &[u8; 4] = b"SHRD";
+/// Result stream magic (worker stdout → coordinator).
+const RESULT_MAGIC: &[u8; 4] = b"SHRS";
+/// Result stream trailer: guards against a worker dying mid-write.
+const RESULT_TRAILER: &[u8; 4] = b"SHRE";
+/// `spec_index` sentinel: the chunk indexes the flattened grid, not a
+/// single spec.
+const FLAT_GRID: u32 = u32::MAX;
+
+/// Errors surfaced by the shard layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// The named campaign is not in the registry.
+    UnknownCampaign(String),
+    /// A protocol frame was malformed.
+    Protocol(String),
+    /// The worker's derived specs do not match the coordinator's
+    /// fingerprint.
+    FingerprintMismatch {
+        /// Fingerprint the coordinator sent.
+        expected: u64,
+        /// Fingerprint the worker derived.
+        derived: u64,
+    },
+    /// An I/O error, stringified (io::Error is not Clone/PartialEq).
+    Io(String),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::UnknownCampaign(name) => write!(f, "unknown campaign `{name}`"),
+            ShardError::Protocol(what) => write!(f, "shard protocol error: {what}"),
+            ShardError::FingerprintMismatch { expected, derived } => write!(
+                f,
+                "campaign fingerprint mismatch: coordinator {expected:#018x}, worker {derived:#018x}"
+            ),
+            ShardError::Io(what) => write!(f, "shard i/o error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<std::io::Error> for ShardError {
+    fn from(e: std::io::Error) -> Self {
+        ShardError::Io(e.to_string())
+    }
+}
+
+impl From<geonet::GeonetError> for ShardError {
+    fn from(e: geonet::GeonetError) -> Self {
+        ShardError::Protocol(e.to_string())
+    }
+}
+
+impl From<its_testbed::wire::WireError> for ShardError {
+    fn from(e: its_testbed::wire::WireError) -> Self {
+        ShardError::Protocol(e.to_string())
+    }
+}
+
+/// Named campaigns a binary can execute in worker mode.
+///
+/// Both the coordinator and its re-exec'd workers construct the same
+/// registry (it is plain data: names and `fn` pointers), so a campaign
+/// is identified across the process boundary by name + spec fingerprint
+/// instead of by serialising configuration.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignRegistry {
+    entries: Vec<(&'static str, fn() -> Vec<CampaignSpec>)>,
+}
+
+impl CampaignRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a named campaign; `derive` must be a pure function so every
+    /// process derives identical specs.
+    pub fn register(mut self, name: &'static str, derive: fn() -> Vec<CampaignSpec>) -> Self {
+        self.entries.push((name, derive));
+        self
+    }
+
+    /// Derives the named campaign's specs, if registered.
+    pub fn derive(&self, name: &str) -> Option<Vec<CampaignSpec>> {
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, f)| f())
+    }
+
+    /// Registered campaign names, in registration order.
+    pub fn names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.entries.iter().map(|(n, _)| *n)
+    }
+}
+
+/// One worker's chunk assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Assignment {
+    worker_index: u32,
+    campaign: String,
+    grid_fp: u64,
+    spec_index: u32,
+    lo: u64,
+    hi: u64,
+}
+
+fn encode_assignment(a: &Assignment) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(ASSIGN_MAGIC);
+    out.put_u8(PROTOCOL_VERSION);
+    out.put_u32(a.worker_index);
+    out.put_u32(a.campaign.len() as u32);
+    out.extend_from_slice(a.campaign.as_bytes());
+    out.put_u64(a.grid_fp);
+    out.put_u32(a.spec_index);
+    out.put_u64(a.lo);
+    out.put_u64(a.hi);
+    out
+}
+
+fn decode_assignment(bytes: &[u8]) -> Result<Assignment, ShardError> {
+    let mut r = ByteReader::new(bytes);
+    if r.take(4)? != ASSIGN_MAGIC {
+        return Err(ShardError::Protocol("bad assignment magic".into()));
+    }
+    let version = r.u8()?;
+    if version != PROTOCOL_VERSION {
+        return Err(ShardError::Protocol(format!(
+            "unsupported protocol version {version}"
+        )));
+    }
+    let worker_index = r.u32()?;
+    let name_len = r.u32()? as usize;
+    let campaign = String::from_utf8(r.take(name_len)?.to_vec())
+        .map_err(|_| ShardError::Protocol("campaign name is not UTF-8".into()))?;
+    let grid_fp = r.u64()?;
+    let spec_index = r.u32()?;
+    let lo = r.u64()?;
+    let hi = r.u64()?;
+    if r.remaining() != 0 {
+        return Err(ShardError::Protocol(format!(
+            "{} trailing bytes after assignment",
+            r.remaining()
+        )));
+    }
+    if lo > hi {
+        return Err(ShardError::Protocol(format!("inverted chunk {lo}..{hi}")));
+    }
+    Ok(Assignment {
+        worker_index,
+        campaign,
+        grid_fp,
+        spec_index,
+        lo,
+        hi,
+    })
+}
+
+fn encode_results(records: &[RunRecord]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(RESULT_MAGIC);
+    out.put_u8(PROTOCOL_VERSION);
+    out.put_u32(records.len() as u32);
+    for record in records {
+        out.extend_from_slice(&record.encode());
+    }
+    out.extend_from_slice(RESULT_TRAILER);
+    out
+}
+
+fn decode_results(bytes: &[u8], expected: usize) -> Result<Vec<RunRecord>, ShardError> {
+    let mut r = ByteReader::new(bytes);
+    if r.take(4)? != RESULT_MAGIC {
+        return Err(ShardError::Protocol("bad result magic".into()));
+    }
+    let version = r.u8()?;
+    if version != PROTOCOL_VERSION {
+        return Err(ShardError::Protocol(format!(
+            "unsupported protocol version {version}"
+        )));
+    }
+    let count = r.u32()? as usize;
+    if count != expected {
+        return Err(ShardError::Protocol(format!(
+            "worker returned {count} records, chunk holds {expected}"
+        )));
+    }
+    let mut records = Vec::with_capacity(expected.min(bytes.len()));
+    for _ in 0..count {
+        records.push(RunRecord::decode_from(&mut r)?);
+    }
+    if r.take(4)? != RESULT_TRAILER {
+        return Err(ShardError::Protocol("missing result trailer".into()));
+    }
+    if r.remaining() != 0 {
+        return Err(ShardError::Protocol(format!(
+            "{} trailing bytes after results",
+            r.remaining()
+        )));
+    }
+    Ok(records)
+}
+
+/// Exclusive prefix sums of the grid's run counts; the last element is
+/// the flat job total. Shared by coordinator and worker so flat indices
+/// mean the same thing on both sides.
+fn grid_offsets(grid: &[CampaignSpec]) -> Vec<usize> {
+    let mut offsets = Vec::with_capacity(grid.len() + 1);
+    let mut total = 0usize;
+    for spec in grid {
+        offsets.push(total);
+        total += spec.runs;
+    }
+    offsets.push(total);
+    offsets
+}
+
+/// Runs flat job `j` of the grid: row-major, spec-major / run-minor —
+/// the same flattening `Runner::execute_grid` uses.
+fn flat_job(grid: &[CampaignSpec], offsets: &[usize], j: usize) -> RunRecord {
+    let k = match offsets.binary_search(&j) {
+        Ok(k) => k,
+        Err(k) => k - 1,
+    };
+    grid[k].run_job(j - offsets[k])
+}
+
+fn compute_chunk(
+    grid: &[CampaignSpec],
+    spec_index: u32,
+    lo: usize,
+    hi: usize,
+) -> Result<Vec<RunRecord>, ShardError> {
+    if spec_index == FLAT_GRID {
+        let offsets = grid_offsets(grid);
+        let total = *offsets.last().unwrap_or(&0);
+        if hi > total {
+            return Err(ShardError::Protocol(format!(
+                "chunk {lo}..{hi} exceeds {total} flat jobs"
+            )));
+        }
+        Ok((lo..hi).map(|j| flat_job(grid, &offsets, j)).collect())
+    } else {
+        let spec = grid
+            .get(spec_index as usize)
+            .ok_or_else(|| ShardError::Protocol(format!("spec index {spec_index} out of range")))?;
+        if hi > spec.runs {
+            return Err(ShardError::Protocol(format!(
+                "chunk {lo}..{hi} exceeds {} runs",
+                spec.runs
+            )));
+        }
+        Ok((lo..hi).map(|i| spec.run_job(i)).collect())
+    }
+}
+
+fn kill_requested(worker_index: u32) -> bool {
+    std::env::var(KILL_ENV)
+        .map(|v| {
+            v.split(',')
+                .any(|tok| tok.trim().parse::<u32>() == Ok(worker_index))
+        })
+        .unwrap_or(false)
+}
+
+/// Enters worker mode — and never returns — when `--shard-worker` is on
+/// the command line; otherwise does nothing.
+///
+/// Host binaries (examples, `harness = false` tests) must call this
+/// before any other work, with the same registry the coordinator uses,
+/// so re-exec'd children handle their assignment instead of re-running
+/// `main`.
+pub fn worker_main_if_requested(registry: &CampaignRegistry) {
+    if !std::env::args().any(|a| a == WORKER_FLAG) {
+        return;
+    }
+    let code = match run_worker(registry) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("shard worker: {e}");
+            3
+        }
+    };
+    std::process::exit(code);
+}
+
+fn run_worker(registry: &CampaignRegistry) -> Result<(), ShardError> {
+    let mut input = Vec::new();
+    std::io::stdin().lock().read_to_end(&mut input)?;
+    let assignment = decode_assignment(&input)?;
+
+    let stdout = std::io::stdout();
+    if kill_requested(assignment.worker_index) {
+        // Die mid-protocol: magic written, records missing — the
+        // coordinator must detect the truncation and re-run the chunk.
+        let mut out = stdout.lock();
+        out.write_all(RESULT_MAGIC)?;
+        out.flush()?;
+        std::process::exit(9);
+    }
+
+    let grid = registry
+        .derive(&assignment.campaign)
+        .ok_or_else(|| ShardError::UnknownCampaign(assignment.campaign.clone()))?;
+    let derived = grid_fingerprint(&grid);
+    if derived != assignment.grid_fp {
+        return Err(ShardError::FingerprintMismatch {
+            expected: assignment.grid_fp,
+            derived,
+        });
+    }
+
+    let records = compute_chunk(
+        &grid,
+        assignment.spec_index,
+        assignment.lo as usize,
+        assignment.hi as usize,
+    )?;
+    let mut out = stdout.lock();
+    out.write_all(&encode_results(&records))?;
+    out.flush()?;
+    Ok(())
+}
+
+/// A handle on one spawned worker: the child plus the channel its
+/// stdout-reader thread reports on. `None` when the spawn itself failed.
+enum Worker {
+    Spawned {
+        child: Child,
+        rx: mpsc::Receiver<std::io::Result<Vec<u8>>>,
+    },
+    FailedToSpawn,
+}
+
+/// The multi-process campaign executor (coordinator side).
+///
+/// Bound to one named campaign of a [`CampaignRegistry`]: `execute` /
+/// `execute_grid` shard the campaign across `workers` re-exec'd
+/// processes when the requested specs match the registered ones, and
+/// re-execute any failed chunk in-process. See the crate docs for the
+/// protocol and the determinism argument.
+#[derive(Debug)]
+pub struct ShardExecutor {
+    workers: usize,
+    campaign: String,
+    grid: Vec<CampaignSpec>,
+    grid_fp: u64,
+    timeout: Duration,
+    fallback_chunks: AtomicUsize,
+}
+
+impl ShardExecutor {
+    /// An executor sharding the registry's `campaign` across `workers`
+    /// processes (clamped to at least 1).
+    pub fn new(
+        workers: usize,
+        campaign: &str,
+        registry: &CampaignRegistry,
+    ) -> Result<Self, ShardError> {
+        let grid = registry
+            .derive(campaign)
+            .ok_or_else(|| ShardError::UnknownCampaign(campaign.to_owned()))?;
+        let grid_fp = grid_fingerprint(&grid);
+        Ok(Self {
+            workers: workers.max(1),
+            campaign: campaign.to_owned(),
+            grid,
+            grid_fp,
+            timeout: Duration::from_secs(120),
+            fallback_chunks: AtomicUsize::new(0),
+        })
+    }
+
+    /// Replaces the per-worker result timeout (default 120 s). A worker
+    /// that exceeds it is killed and its chunk re-executed in-process.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The configured worker-process count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// How many chunks have been re-executed in-process because a worker
+    /// failed, timed out, or refused the assignment. Zero on the happy
+    /// path; the kill-injection tests assert it is non-zero after a
+    /// recovery.
+    pub fn fallback_chunks(&self) -> usize {
+        self.fallback_chunks.load(Ordering::Relaxed)
+    }
+
+    /// Shards `jobs` flat indices across the worker processes and merges
+    /// the chunks in worker order. `spec_index` selects a single spec of
+    /// the campaign grid or, as [`FLAT_GRID`], the row-major flattened
+    /// grid. Chunks whose worker fails are re-derived in-process with
+    /// `rerun` — identical bytes, by purity of the jobs.
+    fn run_sharded(
+        &self,
+        spec_index: u32,
+        jobs: usize,
+        rerun: &dyn Fn(usize, usize) -> Vec<RunRecord>,
+    ) -> Vec<RunRecord> {
+        if jobs == 0 {
+            return Vec::new();
+        }
+        let workers = self.workers.min(jobs);
+        let exe = std::env::current_exe().ok();
+        let chunks: Vec<(usize, usize)> = (0..workers)
+            .map(|w| runner::chunk_bounds(jobs, workers, w))
+            .collect();
+
+        let handles: Vec<Worker> = chunks
+            .iter()
+            .enumerate()
+            .map(|(w, &(lo, hi))| {
+                let Some(exe) = exe.as_ref() else {
+                    return Worker::FailedToSpawn;
+                };
+                self.spawn_worker(exe, w as u32, spec_index, lo, hi)
+                    .unwrap_or(Worker::FailedToSpawn)
+            })
+            .collect();
+
+        let mut out = Vec::with_capacity(jobs);
+        for (handle, &(lo, hi)) in handles.into_iter().zip(&chunks) {
+            match self.collect_worker(handle, hi - lo) {
+                Ok(records) => out.extend(records),
+                Err(_) => {
+                    self.fallback_chunks.fetch_add(1, Ordering::Relaxed);
+                    out.extend(rerun(lo, hi));
+                }
+            }
+        }
+        out
+    }
+
+    fn spawn_worker(
+        &self,
+        exe: &std::path::Path,
+        worker_index: u32,
+        spec_index: u32,
+        lo: usize,
+        hi: usize,
+    ) -> Result<Worker, ShardError> {
+        let mut child = Command::new(exe)
+            .arg(WORKER_FLAG)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()?;
+        // The assignment is a few dozen bytes — far below the pipe
+        // buffer — so write-then-close cannot deadlock against the
+        // child's own writes.
+        let assignment = encode_assignment(&Assignment {
+            worker_index,
+            campaign: self.campaign.clone(),
+            grid_fp: self.grid_fp,
+            spec_index,
+            lo: lo as u64,
+            hi: hi as u64,
+        });
+        if let Some(mut stdin) = child.stdin.take() {
+            // A failed write means the child is already gone; collection
+            // will notice and fall back.
+            let _ = stdin.write_all(&assignment);
+        }
+        let Some(mut stdout) = child.stdout.take() else {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(ShardError::Io("worker stdout not captured".into()));
+        };
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            let mut buf = Vec::new();
+            let result = stdout.read_to_end(&mut buf).map(|_| buf);
+            let _ = tx.send(result);
+        });
+        Ok(Worker::Spawned { child, rx })
+    }
+
+    fn collect_worker(
+        &self,
+        worker: Worker,
+        expected: usize,
+    ) -> Result<Vec<RunRecord>, ShardError> {
+        let Worker::Spawned { mut child, rx } = worker else {
+            return Err(ShardError::Io("worker failed to spawn".into()));
+        };
+        let bytes = match rx.recv_timeout(self.timeout) {
+            Ok(Ok(bytes)) => bytes,
+            Ok(Err(e)) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(ShardError::Io(e.to_string()));
+            }
+            Err(_) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(ShardError::Io("worker timed out".into()));
+            }
+        };
+        let status = child.wait()?;
+        if !status.success() {
+            return Err(ShardError::Io(format!("worker exited with {status}")));
+        }
+        decode_results(&bytes, expected)
+    }
+
+    /// Position of `spec` in the bound campaign grid, by fingerprint.
+    fn position_of(&self, spec: &CampaignSpec) -> Option<u32> {
+        let fp = spec.fingerprint();
+        self.grid
+            .iter()
+            .position(|s| s.fingerprint() == fp)
+            .map(|k| k as u32)
+    }
+}
+
+impl Executor for ShardExecutor {
+    fn execute(&self, spec: &CampaignSpec) -> Vec<RunRecord> {
+        match self.position_of(spec) {
+            Some(index) => self.run_sharded(index, spec.runs, &|lo, hi| {
+                (lo..hi).map(|i| spec.run_job(i)).collect()
+            }),
+            None => {
+                // The spec is not part of the bound campaign: workers
+                // could not re-derive it, so run it locally. Degraded,
+                // never wrong.
+                self.fallback_chunks.fetch_add(1, Ordering::Relaxed);
+                (0..spec.runs).map(|i| spec.run_job(i)).collect()
+            }
+        }
+    }
+
+    fn execute_grid(&self, specs: &[CampaignSpec]) -> Vec<Vec<RunRecord>> {
+        let flat = if grid_fingerprint(specs) == self.grid_fp {
+            let offsets = grid_offsets(specs);
+            let total = *offsets.last().unwrap_or(&0);
+            self.run_sharded(FLAT_GRID, total, &|lo, hi| {
+                (lo..hi).map(|j| flat_job(specs, &offsets, j)).collect()
+            })
+        } else {
+            // Not the registered grid: every chunk would be refused, so
+            // go straight to local execution.
+            self.fallback_chunks.fetch_add(1, Ordering::Relaxed);
+            let offsets = grid_offsets(specs);
+            (0..*offsets.last().unwrap_or(&0))
+                .map(|j| flat_job(specs, &offsets, j))
+                .collect()
+        };
+        let mut records = flat.into_iter();
+        specs
+            .iter()
+            .map(|spec| records.by_ref().take(spec.runs).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use its_testbed::ScenarioConfig;
+
+    fn demo_grid() -> Vec<CampaignSpec> {
+        vec![
+            CampaignSpec::new(
+                ScenarioConfig {
+                    seed: 7000,
+                    ..ScenarioConfig::default()
+                },
+                3,
+            ),
+            CampaignSpec::with_seed_offset(
+                ScenarioConfig {
+                    seed: 7000,
+                    ..ScenarioConfig::default()
+                },
+                1000,
+                2,
+            ),
+        ]
+    }
+
+    fn registry() -> CampaignRegistry {
+        CampaignRegistry::new().register("demo", demo_grid)
+    }
+
+    #[test]
+    fn assignment_roundtrips() {
+        let a = Assignment {
+            worker_index: 3,
+            campaign: "table2".into(),
+            grid_fp: 0xDEAD_BEEF_CAFE_F00D,
+            spec_index: FLAT_GRID,
+            lo: 64,
+            hi: 128,
+        };
+        assert_eq!(decode_assignment(&encode_assignment(&a)), Ok(a));
+    }
+
+    #[test]
+    fn assignment_rejects_garbage_and_truncation() {
+        assert!(decode_assignment(b"nope").is_err());
+        let a = Assignment {
+            worker_index: 0,
+            campaign: "x".into(),
+            grid_fp: 1,
+            spec_index: 0,
+            lo: 0,
+            hi: 4,
+        };
+        let bytes = encode_assignment(&a);
+        for cut in 0..bytes.len() {
+            assert!(decode_assignment(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        let mut inverted = encode_assignment(&a);
+        let n = inverted.len();
+        // Swap lo and hi (the last two u64s).
+        inverted[n - 16..].rotate_left(8);
+        assert!(decode_assignment(&inverted).is_err());
+    }
+
+    #[test]
+    fn results_roundtrip_and_reject_wrong_count() {
+        let grid = demo_grid();
+        let records = compute_chunk(&grid, 0, 0, 2).unwrap();
+        let bytes = encode_results(&records);
+        let back = decode_results(&bytes, 2).unwrap();
+        assert_eq!(back, records);
+        assert!(decode_results(&bytes, 3).is_err());
+        for cut in 0..bytes.len() {
+            assert!(decode_results(&bytes[..cut], 2).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn flat_jobs_match_per_spec_jobs() {
+        let grid = demo_grid();
+        let offsets = grid_offsets(&grid);
+        assert_eq!(offsets, vec![0, 3, 5]);
+        for (k, spec) in grid.iter().enumerate() {
+            for i in 0..spec.runs {
+                let flat = flat_job(&grid, &offsets, offsets[k] + i);
+                assert_eq!(flat, spec.run_job(i), "spec {k} run {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn compute_chunk_bounds_checked() {
+        let grid = demo_grid();
+        assert!(compute_chunk(&grid, 0, 0, 4).is_err());
+        assert!(compute_chunk(&grid, 2, 0, 1).is_err());
+        assert!(compute_chunk(&grid, FLAT_GRID, 0, 6).is_err());
+        assert_eq!(compute_chunk(&grid, FLAT_GRID, 0, 5).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn registry_lookup() {
+        let r = registry();
+        assert!(r.derive("demo").is_some());
+        assert!(r.derive("nope").is_none());
+        assert_eq!(r.names().collect::<Vec<_>>(), vec!["demo"]);
+        assert!(matches!(
+            ShardExecutor::new(2, "nope", &r),
+            Err(ShardError::UnknownCampaign(_))
+        ));
+    }
+
+    #[test]
+    fn unregistered_spec_falls_back_locally() {
+        // The unit-test binary is a libtest harness, so real worker
+        // re-exec is exercised in tests/shard_determinism.rs; here we
+        // pin the local fallback path.
+        let exec = ShardExecutor::new(2, "demo", &registry()).unwrap();
+        let foreign = CampaignSpec::new(
+            ScenarioConfig {
+                seed: 1234,
+                ..ScenarioConfig::default()
+            },
+            2,
+        );
+        let records = foreign.execute(&exec);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0], foreign.run_job(0));
+        assert!(exec.fallback_chunks() > 0);
+    }
+
+    #[test]
+    fn kill_list_parses() {
+        std::env::set_var(KILL_ENV, "1, 3");
+        assert!(!kill_requested(0));
+        assert!(kill_requested(1));
+        assert!(kill_requested(3));
+        std::env::remove_var(KILL_ENV);
+        assert!(!kill_requested(1));
+    }
+}

@@ -14,33 +14,23 @@
 //! ```
 
 use its_testbed::ablation::{
-    sweep_action_point_on, sweep_camera_fps_on, sweep_ntp_quality_on, sweep_poll_period_on,
-    sweep_shadowing_on, sweep_speed_on, sweep_tx_power_on,
+    sweep_action_point, sweep_camera_fps, sweep_ntp_quality, sweep_poll_period, sweep_shadowing,
+    sweep_speed, sweep_tx_power,
 };
 use its_testbed::scenario::{HazardRule, Scenario, ScenarioConfig};
 use its_testbed::Runner;
 use std::time::Instant;
 
-/// Parses `--threads N` from the command line; `None` falls back to
-/// `RUNNER_THREADS` / the machine via [`Runner::from_env`].
-fn threads_flag() -> Option<usize> {
-    let args: Vec<String> = std::env::args().collect();
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        if arg == "--threads" {
-            return it.next().and_then(|v| runner::parse_threads(v));
-        }
-        if let Some(v) = arg.strip_prefix("--threads=") {
-            return runner::parse_threads(v);
-        }
-    }
-    None
-}
-
 fn main() {
-    let runner = match threads_flag() {
-        Some(n) => Runner::new(n),
-        None => Runner::from_env(),
+    // `--threads N` wins over `RUNNER_THREADS` / the machine; zero and
+    // garbage are rejected by the shared parser in crate `runner`.
+    let runner = match runner::threads_flag(std::env::args()) {
+        Ok(Some(n)) => Runner::new(n),
+        Ok(None) => Runner::from_env(),
+        Err(e) => {
+            eprintln!("--threads: {e}");
+            std::process::exit(2);
+        }
     };
     println!(
         "campaign runner: {} worker thread(s) (override with --threads N or RUNNER_THREADS)\n",
@@ -56,31 +46,31 @@ fn main() {
     println!("== polling period (the #4->#5 knob) ==");
     println!(
         "{}",
-        sweep_poll_period_on(&runner, &base, &[10, 25, 50, 100, 200], runs).render()
+        sweep_poll_period(&runner, &base, &[10, 25, 50, 100, 200], runs).render()
     );
 
     println!("== camera frame rate (the #1->#2 knob) ==");
     println!(
         "{}",
-        sweep_camera_fps_on(&runner, &base, &[2.0, 4.0, 8.0, 15.0], runs).render()
+        sweep_camera_fps(&runner, &base, &[2.0, 4.0, 8.0, 15.0], runs).render()
     );
 
     println!("== action point placement (safety margin) ==");
     println!(
         "{}",
-        sweep_action_point_on(&runner, &base, &[1.0, 1.25, 1.52, 1.8, 2.2], runs).render()
+        sweep_action_point(&runner, &base, &[1.0, 1.25, 1.52, 1.8, 2.2], runs).render()
     );
 
     println!("== approach speed (braking distance growth) ==");
     println!(
         "{}",
-        sweep_speed_on(&runner, &base, &[0.75, 1.0, 1.5, 2.0, 3.0], runs).render()
+        sweep_speed(&runner, &base, &[0.75, 1.0, 1.5, 2.0, 3.0], runs).render()
     );
 
     println!("== NTP quality (measurement noise, not latency) ==");
     println!(
         "{}",
-        sweep_ntp_quality_on(
+        sweep_ntp_quality(
             &runner,
             &base,
             &[0.0, 300.0, 1_000.0, 5_000.0, 10_000.0],
@@ -92,7 +82,7 @@ fn main() {
     println!("== transmit power (link-budget cliff) ==");
     println!(
         "{}",
-        sweep_tx_power_on(
+        sweep_tx_power(
             &runner,
             &base,
             &[-45.0, -40.0, -36.0, -32.0, 0.0, 23.0],
@@ -104,7 +94,7 @@ fn main() {
     println!("== shadowing sigma at the link margin (tx −32 dBm) ==");
     println!(
         "{}",
-        sweep_shadowing_on(&runner, &base, &[0.0, 3.0, 6.0, 12.0], runs).render()
+        sweep_shadowing(&runner, &base, &[0.0, 3.0, 6.0, 12.0], runs).render()
     );
 
     println!("== hazard rule: fixed Action Point vs time-to-collision ==");
@@ -164,11 +154,10 @@ fn main() {
         params.len() * speedup_runs
     );
     let t0 = Instant::now();
-    let serial = sweep_poll_period_on(&Runner::new(1), &base, &params, speedup_runs);
+    let serial = sweep_poll_period(&Runner::new(1), &base, &params, speedup_runs);
     let serial_s = t0.elapsed().as_secs_f64();
     let t1 = Instant::now();
-    let parallel =
-        sweep_poll_period_on(&Runner::new(speedup_threads), &base, &params, speedup_runs);
+    let parallel = sweep_poll_period(&Runner::new(speedup_threads), &base, &params, speedup_runs);
     let parallel_s = t1.elapsed().as_secs_f64();
     println!("  1 thread : {serial_s:>7.2} s");
     println!("  {speedup_threads} threads: {parallel_s:>7.2} s");

@@ -9,17 +9,21 @@
 use its_testbed::experiments::{self, paper};
 use its_testbed::metrics::{fit_normal, fit_shifted_exponential, ks_statistic, mean};
 use its_testbed::scenario::ScenarioConfig;
+use its_testbed::Runner;
 
 fn main() {
     let base = ScenarioConfig {
         seed: 2023,
         ..ScenarioConfig::default()
     };
+    // Campaigns run through the generic Executor API; the thread runner
+    // honours RUNNER_THREADS and changes nothing but the wall-clock.
+    let exec = Runner::from_env();
 
     println!("{}", experiments::table1());
 
     // --- Table II: five runs, like the paper. ---
-    let t2 = experiments::table2(&base, 5);
+    let t2 = experiments::table2(&exec, &base, 5);
     println!("{}", t2.render());
     println!(
         "paper averages: #2->#3 {:.1} | #3->#4 {:.1} | #4->#5 {:.1} | total {:.1} ms\n",
@@ -30,12 +34,12 @@ fn main() {
     );
 
     // --- Figure 11: EDF of total delay. ---
-    let f11 = experiments::fig11(&base, 5);
+    let f11 = experiments::fig11(&exec, &base, 5);
     println!("{}", f11.render());
 
     // A larger-N EDF plus the distribution fit the paper lists as future
     // work ("model it with an appropriate distribution").
-    let f11_large = experiments::fig11(&base, 100);
+    let f11_large = experiments::fig11(&exec, &base, 100);
     let normal = fit_normal(&f11_large.edf);
     let sexp = fit_shifted_exponential(&f11_large.edf);
     println!(
@@ -59,7 +63,7 @@ fn main() {
     );
 
     // --- Table III: seven runs, like the paper. ---
-    let t3 = experiments::table3(&base, 7);
+    let t3 = experiments::table3(&exec, &base, 7);
     println!("{}", t3.render());
     println!(
         "paper: avg {:.2} m, variance 0.0022\n",

@@ -9,28 +9,19 @@
 //! cargo run --example congestion --release -- --threads 4
 //! ```
 
-use its_testbed::congestion::{run_congestion, sweep_station_count_on, CongestionConfig};
+use its_testbed::congestion::{run_congestion, sweep_station_count, CongestionConfig};
 use its_testbed::Runner;
 
-/// Parses `--threads N`; `None` falls back to [`Runner::from_env`].
-fn threads_flag() -> Option<usize> {
-    let args: Vec<String> = std::env::args().collect();
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        if arg == "--threads" {
-            return it.next().and_then(|v| runner::parse_threads(v));
-        }
-        if let Some(v) = arg.strip_prefix("--threads=") {
-            return runner::parse_threads(v);
-        }
-    }
-    None
-}
-
 fn main() {
-    let runner = match threads_flag() {
-        Some(n) => Runner::new(n),
-        None => Runner::from_env(),
+    // `--threads N` wins over `RUNNER_THREADS` / the machine; zero and
+    // garbage are rejected by the shared parser in crate `runner`.
+    let runner = match runner::threads_flag(std::env::args()) {
+        Ok(Some(n)) => Runner::new(n),
+        Ok(None) => Runner::from_env(),
+        Err(e) => {
+            eprintln!("--threads: {e}");
+            std::process::exit(2);
+        }
     };
     println!("CAM beaconing under load — reactive DCC in every station\n");
     println!(
@@ -39,7 +30,7 @@ fn main() {
     );
     print!(
         "{}",
-        sweep_station_count_on(
+        sweep_station_count(
             &runner,
             &CongestionConfig::default(),
             &[2, 5, 10, 20, 40, 80, 120, 160]

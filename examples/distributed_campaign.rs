@@ -1,0 +1,88 @@
+//! Distributed campaign execution: the Table II campaign sharded across
+//! worker *processes* instead of threads (DESIGN.md §10).
+//!
+//! The coordinator re-execs this very binary with a hidden
+//! `--shard-worker` flag, hands each worker a contiguous seed-index
+//! chunk over stdin, and merges the returned record frames in worker
+//! order — producing bytes identical to a plain serial loop, which this
+//! example verifies before printing anything.
+//!
+//! ```sh
+//! cargo run -p shard --example distributed_campaign --release -- --shard-workers 4
+//! ```
+
+use its_testbed::campaign::{grid_fingerprint, CampaignSpec};
+use its_testbed::experiments::table2;
+use its_testbed::scenario::ScenarioConfig;
+use its_testbed::Serial;
+use shard::{CampaignRegistry, ShardExecutor};
+
+const RUNS: usize = 24;
+
+fn base() -> ScenarioConfig {
+    ScenarioConfig {
+        seed: 42,
+        ..ScenarioConfig::default()
+    }
+}
+
+// Must match what `experiments::table2` builds internally so the shard
+// executor recognises the spec by fingerprint and actually shards.
+fn table2_grid() -> Vec<CampaignSpec> {
+    vec![CampaignSpec::new(base(), RUNS)]
+}
+
+fn shard_workers_flag() -> usize {
+    let mut it = std::env::args();
+    while let Some(arg) = it.next() {
+        let value = if arg == "--shard-workers" {
+            it.next().unwrap_or_default()
+        } else if let Some(v) = arg.strip_prefix("--shard-workers=") {
+            v.to_owned()
+        } else {
+            continue;
+        };
+        // Worker processes and worker threads share one count parser —
+        // zero and garbage are rejected with the same error either way.
+        match runner::parse_threads(&value) {
+            Ok(n) => return n,
+            Err(e) => {
+                eprintln!("--shard-workers: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    2
+}
+
+fn main() {
+    let registry = CampaignRegistry::new().register("table2", table2_grid);
+    // Re-exec'd children enter worker mode here and never return.
+    shard::worker_main_if_requested(&registry);
+
+    let workers = shard_workers_flag();
+    let exec = ShardExecutor::new(workers, "table2", &registry).expect("campaign is registered");
+    println!(
+        "Table II campaign: {RUNS} runs across {} worker process(es)",
+        exec.workers()
+    );
+    println!(
+        "campaign grid fingerprint: {:#018x}\n",
+        grid_fingerprint(&table2_grid())
+    );
+
+    let sharded = table2(&exec, &base(), RUNS);
+    let serial = table2(&Serial, &base(), RUNS);
+    print!("{}", sharded.render());
+
+    let identical = sharded.render() == serial.render();
+    println!(
+        "\nsharded output bitwise identical to serial: {identical} \
+         ({} chunk(s) re-executed in-process)",
+        exec.fallback_chunks()
+    );
+    if !identical {
+        eprintln!("distributed_campaign: shard output diverged from serial");
+        std::process::exit(1);
+    }
+}

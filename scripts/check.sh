@@ -22,6 +22,14 @@ RUNNER_THREADS=8 cargo test -q
 echo "==> detlint"
 cargo run -q -p detlint
 
+# Shard smoke: run a small campaign across 2 worker processes and diff
+# its output against the in-example serial reference — the example exits
+# non-zero if the sharded bytes diverge (tests/shard_determinism.rs is
+# the full tier-1 matrix; this just proves the re-exec path works in the
+# checked-out tree).
+echo "==> shard smoke (distributed_campaign, 2 workers)"
+cargo run -q -p shard --example distributed_campaign --release -- --shard-workers 2 >/dev/null
+
 # Bench smoke: run the campaign-throughput bench in quick mode (32 runs
 # per table) so the harness, its serial-vs-parallel bit-equality
 # assertion, and the JSON writer all execute; then restore the tracked

@@ -5,6 +5,7 @@
 use its_testbed::experiments::{self, paper};
 use its_testbed::metrics::{mean, Edf};
 use its_testbed::scenario::ScenarioConfig;
+use its_testbed::Runner;
 
 fn base() -> ScenarioConfig {
     ScenarioConfig {
@@ -15,7 +16,7 @@ fn base() -> ScenarioConfig {
 
 #[test]
 fn table2_five_run_structure() {
-    let t = experiments::table2(&base(), 5);
+    let t = experiments::table2(&Runner::from_env(), &base(), 5);
     assert_eq!(t.interval_2_3.len(), 5);
     assert_eq!(t.interval_3_4.len(), 5);
     assert_eq!(t.interval_4_5.len(), 5);
@@ -29,7 +30,7 @@ fn table2_five_run_structure() {
 
 #[test]
 fn table2_shape_versus_paper() {
-    let t = experiments::table2(&base(), 30);
+    let t = experiments::table2(&Runner::from_env(), &base(), 30);
     let (m23, m34, m45) = (
         mean(&t.interval_2_3),
         mean(&t.interval_3_4),
@@ -49,7 +50,7 @@ fn table2_shape_versus_paper() {
 
 #[test]
 fn fig11_edf_statements_hold_at_scale() {
-    let f = experiments::fig11(&base(), 60);
+    let f = experiments::fig11(&Runner::from_env(), &base(), 60);
     assert!(f.edf.max() < 100.0, "max {} ms", f.edf.max());
     assert!(f.edf.min() > 15.0, "min {} ms", f.edf.min());
     // The EDF is a proper distribution function.
@@ -64,7 +65,7 @@ fn fig11_edf_statements_hold_at_scale() {
 
 #[test]
 fn table3_statistics_versus_paper() {
-    let t = experiments::table3(&base(), 20);
+    let t = experiments::table3(&Runner::from_env(), &base(), 20);
     let m = t.mean();
     // Paper: avg 0.36 m with variance 0.0022; we accept ±0.08 m on the
     // mean and the same order of variance.
@@ -156,7 +157,7 @@ fn ablation_fps_dominates_step1_to_2() {
         ..ScenarioConfig::default()
     };
     let gap = |cfg: &ScenarioConfig| {
-        let t = experiments::table2(cfg, 10);
+        let t = experiments::table2(&Runner::from_env(), cfg, 10);
         let mut gaps = Vec::new();
         for r in &t.records {
             let s1 = r.step1_crossing.unwrap().as_nanos() as f64;

@@ -1,11 +1,13 @@
 //! Tier-1 regression test for the parallel campaign runner: the same
 //! campaign produces **byte-identical** rendered output at 1, 2 and 8
-//! worker threads (DESIGN.md §8). The machine running the tests may
-//! have any core count — 8 workers on 1 core oversubscribes, which must
+//! worker threads (DESIGN.md §8), all through the generic
+//! `Campaign`/`Executor` API. The machine running the tests may have
+//! any core count — 8 workers on 1 core oversubscribes, which must
 //! change scheduling only, never results.
 
-use its_testbed::ablation::{sweep_poll_period, sweep_poll_period_on, sweep_tx_power_on};
-use its_testbed::experiments::{table2_on, table3_on};
+use its_testbed::ablation::{sweep_poll_period, sweep_tx_power};
+use its_testbed::campaign::Serial;
+use its_testbed::experiments::{table2, table3};
 use its_testbed::scenario::ScenarioConfig;
 use its_testbed::Runner;
 
@@ -19,7 +21,7 @@ fn base() -> ScenarioConfig {
 #[test]
 fn sweep_table_identical_across_thread_counts() {
     let render = |threads: usize| {
-        sweep_poll_period_on(&Runner::new(threads), &base(), &[10, 50, 150], 16).render()
+        sweep_poll_period(&Runner::new(threads), &base(), &[10, 50, 150], 16).render()
     };
     let one = render(1);
     assert!(!one.is_empty());
@@ -29,7 +31,7 @@ fn sweep_table_identical_across_thread_counts() {
 
 #[test]
 fn table2_identical_across_thread_counts() {
-    let render = |threads: usize| table2_on(&Runner::new(threads), &base(), 24).render();
+    let render = |threads: usize| table2(&Runner::new(threads), &base(), 24).render();
     let one = render(1);
     assert_eq!(one, render(2));
     assert_eq!(one, render(8));
@@ -37,7 +39,7 @@ fn table2_identical_across_thread_counts() {
 
 #[test]
 fn table3_bits_identical_across_thread_counts() {
-    let braking = |threads: usize| table3_on(&Runner::new(threads), &base(), 24).braking_m;
+    let braking = |threads: usize| table3(&Runner::new(threads), &base(), 24).braking_m;
     let one = braking(1);
     for threads in [2, 8] {
         let other = braking(threads);
@@ -56,7 +58,7 @@ fn table3_bits_identical_across_thread_counts() {
 fn delivery_ratio_sweep_identical_across_thread_counts() {
     // tx-power delivery ratios exercise the counting (non-mean) path.
     let render = |threads: usize| {
-        sweep_tx_power_on(&Runner::new(threads), &base(), &[-36.0, 23.0], 12).render()
+        sweep_tx_power(&Runner::new(threads), &base(), &[-36.0, 23.0], 12).render()
     };
     let one = render(1);
     assert_eq!(one, render(3));
@@ -64,11 +66,21 @@ fn delivery_ratio_sweep_identical_across_thread_counts() {
 }
 
 #[test]
+fn serial_executor_matches_thread_runner() {
+    // The reference executor (a plain loop) and the pool agree bit for
+    // bit — the base case of the determinism contract every executor
+    // extends.
+    let plain = sweep_poll_period(&Serial, &base(), &[25, 100], 8).render();
+    let pooled = sweep_poll_period(&Runner::new(8), &base(), &[25, 100], 8).render();
+    assert_eq!(plain, pooled);
+}
+
+#[test]
 fn env_default_entry_point_matches_explicit_serial_runner() {
     // Whatever RUNNER_THREADS the harness set (check.sh runs the suite
     // at 1 and at 8), the env-picked runner must agree with an explicit
     // single-threaded one.
-    let from_env = sweep_poll_period(&base(), &[25, 100], 8).render();
-    let serial = sweep_poll_period_on(&Runner::new(1), &base(), &[25, 100], 8).render();
+    let from_env = sweep_poll_period(&Runner::from_env(), &base(), &[25, 100], 8).render();
+    let serial = sweep_poll_period(&Runner::new(1), &base(), &[25, 100], 8).render();
     assert_eq!(from_env, serial);
 }

@@ -1,0 +1,152 @@
+//! Tier-1 regression test for the multi-process shard executor
+//! (DESIGN.md §10): table2 and table3 produce **byte-identical** output
+//! across serial execution, an 8-thread in-process runner, a 1-worker
+//! shard, and a 4-worker shard — and stay identical when workers are
+//! killed mid-protocol and the coordinator recovers their chunks
+//! in-process.
+//!
+//! `harness = false`: the coordinator re-execs this very binary as its
+//! workers, so `main` must dispatch `--shard-worker` before anything
+//! else instead of handing control to libtest.
+
+use its_testbed::campaign::CampaignSpec;
+use its_testbed::experiments::{table2, table3};
+use its_testbed::scenario::ScenarioConfig;
+use its_testbed::Runner;
+use shard::{CampaignRegistry, ShardExecutor, KILL_ENV};
+use std::time::Duration;
+
+/// Runs per campaign: enough that 4 workers each get a multi-run chunk.
+const RUNS: usize = 24;
+
+fn base() -> ScenarioConfig {
+    ScenarioConfig {
+        seed: 5000,
+        ..ScenarioConfig::default()
+    }
+}
+
+// The registered derivations mirror exactly what `experiments::table2` /
+// `table3` build internally, so the shard executor recognises their
+// specs by fingerprint and actually shards instead of falling back.
+fn table2_grid() -> Vec<CampaignSpec> {
+    vec![CampaignSpec::new(base(), RUNS)]
+}
+
+fn table3_grid() -> Vec<CampaignSpec> {
+    vec![CampaignSpec::with_seed_offset(base(), 1000, RUNS)]
+}
+
+fn registry() -> CampaignRegistry {
+    CampaignRegistry::new()
+        .register("table2", table2_grid)
+        .register("table3", table3_grid)
+}
+
+fn sharded(workers: usize, campaign: &str) -> ShardExecutor {
+    ShardExecutor::new(workers, campaign, &registry())
+        .expect("campaign is registered")
+        .with_timeout(Duration::from_secs(300))
+}
+
+fn braking_bits(t: &its_testbed::experiments::Table3) -> Vec<u64> {
+    t.braking_m.iter().map(|b| b.to_bits()).collect()
+}
+
+fn check(name: &str, ok: bool, failures: &mut usize) {
+    if ok {
+        println!("ok   {name}");
+    } else {
+        println!("FAIL {name}");
+        *failures += 1;
+    }
+}
+
+fn main() {
+    let registry = registry();
+    // Re-exec'd children take this exit and never reach the assertions.
+    shard::worker_main_if_requested(&registry);
+
+    let mut failures = 0usize;
+
+    // Reference renderings from the plain serial loop.
+    let t2_serial = table2(&its_testbed::Serial, &base(), RUNS).render();
+    let t3_serial = braking_bits(&table3(&its_testbed::Serial, &base(), RUNS));
+
+    // In-process thread pool at 8 workers (oversubscription is fine).
+    let threaded = Runner::new(8);
+    check(
+        "table2: 8-thread runner matches serial",
+        table2(&threaded, &base(), RUNS).render() == t2_serial,
+        &mut failures,
+    );
+    check(
+        "table3: 8-thread runner matches serial (bitwise)",
+        braking_bits(&table3(&threaded, &base(), RUNS)) == t3_serial,
+        &mut failures,
+    );
+
+    // Shard executor at 1 and at 4 worker processes: byte-identical, and
+    // no chunk may have taken the in-process fallback path.
+    for workers in [1usize, 4] {
+        let exec = sharded(workers, "table2");
+        check(
+            &format!("table2: {workers}-worker shard matches serial"),
+            table2(&exec, &base(), RUNS).render() == t2_serial,
+            &mut failures,
+        );
+        check(
+            &format!("table2: {workers}-worker shard took no fallback"),
+            exec.fallback_chunks() == 0,
+            &mut failures,
+        );
+
+        let exec = sharded(workers, "table3");
+        check(
+            &format!("table3: {workers}-worker shard matches serial (bitwise)"),
+            braking_bits(&table3(&exec, &base(), RUNS)) == t3_serial,
+            &mut failures,
+        );
+        check(
+            &format!("table3: {workers}-worker shard took no fallback"),
+            exec.fallback_chunks() == 0,
+            &mut failures,
+        );
+    }
+
+    // Kill injection: workers 0 and 2 of 4 die mid-protocol (magic
+    // written, records missing). The coordinator must detect both
+    // truncations, re-run those chunks in-process, and still merge to
+    // the exact serial bytes. Children inherit the environment, so
+    // setting the variable here reaches the re-exec'd workers.
+    std::env::set_var(KILL_ENV, "0,2");
+    let exec = sharded(4, "table2");
+    check(
+        "table2: 4-worker shard with killed workers 0,2 matches serial",
+        table2(&exec, &base(), RUNS).render() == t2_serial,
+        &mut failures,
+    );
+    check(
+        "table2: kill injection actually exercised the fallback",
+        exec.fallback_chunks() == 2,
+        &mut failures,
+    );
+    let exec = sharded(4, "table3");
+    check(
+        "table3: 4-worker shard with killed workers 0,2 matches serial",
+        braking_bits(&table3(&exec, &base(), RUNS)) == t3_serial,
+        &mut failures,
+    );
+    check(
+        "table3: kill injection actually exercised the fallback",
+        exec.fallback_chunks() == 2,
+        &mut failures,
+    );
+    std::env::remove_var(KILL_ENV);
+
+    if failures > 0 {
+        eprintln!("shard_determinism: {failures} check(s) failed");
+        std::process::exit(1);
+    }
+    println!("shard_determinism: all checks passed");
+}

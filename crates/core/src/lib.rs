@@ -54,6 +54,7 @@ pub mod ablation;
 pub mod campaign;
 pub mod congestion;
 pub mod experiments;
+pub mod faultsweep;
 pub mod intersection;
 pub mod metrics;
 pub mod platoon;

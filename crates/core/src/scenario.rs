@@ -21,7 +21,9 @@
 //! measurement noise as the paper's Table II.
 
 use facilities::ldm::PerceivedObject;
+use faults::{FaultInjector, FaultNode, FaultPlan, FaultStats};
 use its_messages::common::{ReferencePosition, StationId};
+use openc2x::http::{poll_with_retry, RetryPolicy};
 use openc2x::node::{lab_to_geo, ItsStation, PollingModel, StationConfig};
 use perception::camera::{GroundTruthTarget, RoadSideCamera, TargetAppearance};
 use perception::detector::{Detection, YoloModel};
@@ -40,6 +42,7 @@ use vehicle::dynamics::{BicycleState, LongitudinalModel, VehicleParams};
 use vehicle::linefollow::{LineFollower, Track};
 use vehicle::planner::{MotionPlanner, StopPolicy};
 use vehicle::sensors::WheelOdometry;
+use vehicle::watchdog::{DegradationLevel, V2xWatchdog, WatchdogConfig};
 
 /// How the hazard service decides to trigger the DENM.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -120,6 +123,18 @@ pub struct ScenarioConfig {
     pub denm_link: DenmLink,
     /// Give-up horizon for a run.
     pub timeout: SimDuration,
+    /// Fault schedule for the run. The default (empty) plan is a strict
+    /// no-op: the injector draws no randomness and changes no control
+    /// flow, so faultless runs stay byte-identical to the baseline.
+    pub fault_plan: FaultPlan,
+    /// V2X heartbeat watchdog at the vehicle. `Some` makes the RSU
+    /// beacon CAMs at the watchdog's heartbeat period and the planner
+    /// honour the degradation ladder; `None` (the default) leaves the
+    /// baseline event schedule untouched.
+    pub watchdog: Option<WatchdogConfig>,
+    /// Bounded retry/backoff for the vehicle's OBU poll. Only consulted
+    /// when a poll attempt stalls, so it cannot perturb healthy runs.
+    pub poll_retry: RetryPolicy,
 }
 
 impl Default for ScenarioConfig {
@@ -150,6 +165,9 @@ impl Default for ScenarioConfig {
             hazard_rule: HazardRule::ActionPoint,
             denm_link: DenmLink::Its80211p,
             timeout: SimDuration::from_secs(30),
+            fault_plan: FaultPlan::default(),
+            watchdog: None,
+            poll_retry: RetryPolicy::default(),
         }
     }
 }
@@ -199,6 +217,9 @@ pub struct RunRecord {
     /// accounting for the campaign-throughput bench (`BENCH_campaign.json`
     /// reports ns/event from it); not part of any paper table.
     pub events_dispatched: u64,
+    /// Fault-injection and degradation counters (all zero on a
+    /// faultless run; wire version 2 appends them to the frame).
+    pub fault: FaultStats,
     /// Event trace of the run.
     pub trace: Trace,
 }
@@ -293,6 +314,14 @@ pub enum Event {
     },
     /// The physical power cut takes effect at the ESC.
     PowerCutApplied,
+    /// The RSU beacons a liveness CAM (only scheduled when the vehicle's
+    /// V2X watchdog is configured).
+    RsuHeartbeat,
+    /// A CAM frame arrives at the OBU (the watchdog's heartbeat path).
+    ObuCamRx {
+        /// Shared bytes of the full GN packet.
+        packet_bytes: std::sync::Arc<[u8]>,
+    },
 }
 
 /// The assembled scenario state.
@@ -323,6 +352,9 @@ pub struct Scenario {
     pending_denm: Vec<std::sync::Arc<[u8]>>,
     poll_phase: SimDuration,
     link_cache: LinkCache,
+    // Fault plane.
+    injector: FaultInjector,
+    watchdog: Option<V2xWatchdog>,
     // Bookkeeping.
     record: RunRecord,
     done: bool,
@@ -412,6 +444,10 @@ impl Scenario {
             pending_denm: Vec::new(),
             poll_phase,
             link_cache: LinkCache::new(),
+            // Forking is draw-free, so carving out a dedicated fault
+            // stream leaves every other stream's sequence untouched.
+            injector: FaultInjector::new(config.fault_plan.clone(), root.fork("faults")),
+            watchdog: config.watchdog.map(V2xWatchdog::new),
             record: RunRecord::default(),
             done: false,
             next_object_id: 1,
@@ -448,10 +484,34 @@ impl Scenario {
                 .next_poll(SimTime::ZERO, self.poll_phase),
             Event::VehiclePoll,
         );
+        // The heartbeat stream only exists when the watchdog does, so a
+        // watchdog-less run keeps the baseline event schedule bit for bit.
+        if let Some(wcfg) = self.config.watchdog {
+            queue.schedule_at(SimTime::ZERO + wcfg.heartbeat_period, Event::RsuHeartbeat);
+        }
         let timeout = SimTime::ZERO + self.config.timeout;
         run(&mut self, &mut queue, timeout);
         self.record.events_dispatched = queue.dispatched();
+        let mut fault = self.injector.stats();
+        if let Some(wd) = &self.watchdog {
+            let trips = wd.trips();
+            fault.watchdog_speed_caps = trips.speed_caps;
+            fault.watchdog_stops = trips.stops;
+            fault.watchdog_recoveries = trips.recoveries;
+        }
+        self.record.fault = fault;
         self.record
+    }
+
+    /// Whether the fault plane can change this run's behaviour at all.
+    /// Gates the overrun outcome so baseline runs never evaluate it.
+    fn fault_active(&self) -> bool {
+        !self.config.fault_plan.is_empty() || self.watchdog.is_some()
+    }
+
+    /// A node-local wall-clock reading with any injected drift applied.
+    fn skewed_wall(&self, wall_ms: u64, now: SimTime, node: FaultNode) -> u64 {
+        wall_ms.saturating_add_signed(self.injector.clock_skew_ms(now, node))
     }
 
     /// True distance from the camera to the vehicle front.
@@ -463,6 +523,12 @@ impl Scenario {
 
     fn on_control_tick(&mut self, now: SimTime, queue: &mut EventQueue<Event>) {
         let dt = self.config.control_period.as_secs_f64();
+        // Watchdog: re-judge V2X liveness each control period and hand
+        // the degradation level to the planner (pure arithmetic).
+        if let Some(wd) = self.watchdog.as_mut() {
+            let level = wd.assess(now);
+            self.planner.set_degradation(level);
+        }
         // Perception + steering at the control rate.
         // The follower works in the vehicle frame, so it is valid for any
         // heading, including this scenario's -x approach.
@@ -521,6 +587,43 @@ impl Scenario {
             return;
         }
 
+        // Fail-safe halt: the watchdog commanded a controlled stop and
+        // the vehicle came to rest without the DENM pipeline completing.
+        // Step 6 stays unset — the paper's chain did not act — but the
+        // halt position is recorded as the safety outcome.
+        if self.record.step6_halt.is_none()
+            && self.record.step5_actuation.is_none()
+            && self.car.speed_mps() <= 0.0
+            && self
+                .watchdog
+                .as_ref()
+                .is_some_and(|wd| wd.level() == DegradationLevel::ControlledStop)
+        {
+            self.injector.stats_mut().failsafe_stop = true;
+            self.record.odometer_at_halt_m = Some(self.car.distance_m());
+            self.record.halt_distance_to_camera_m = Some(self.pose.x);
+            self.record.trace.record(
+                now,
+                "vehicle",
+                "failsafe_stop",
+                format!("odo={:.3}", self.car.distance_m()),
+            );
+            self.done = true;
+            return;
+        }
+
+        // Overrun: under faults the emergency chain can fail outright;
+        // driving past the camera is the collision outcome and ends the
+        // run. Never evaluated on the baseline path.
+        if self.fault_active() && self.pose.x <= 0.0 {
+            self.injector.stats_mut().overran_camera = true;
+            self.record
+                .trace
+                .record(now, "world", "overrun", format!("x={:.3}", self.pose.x));
+            self.done = true;
+            return;
+        }
+
         // Keep the OBU position in sync and poll the CA service. Speed
         // comes from the wheel encoder (what the real OBU would see),
         // not from ground truth.
@@ -530,32 +633,43 @@ impl Scenario {
             .set_position(Position2D::new(self.pose.x, self.pose.y));
         self.obu
             .set_motion(measured_speed, 270.0 /* heading -x ≈ west */);
-        if let Ok(Some(cam_packet)) = self.obu.poll_cam(now) {
-            let bytes = cam_packet.to_bytes();
-            let start =
-                self.obu
-                    .channel_access(now, &cam_packet, &self.medium, &mut self.rng_timing);
-            let at = airtime(bytes.len(), self.obu.config().data_rate);
-            self.medium.occupy(start + at);
-            // Congestion feedback: both radios hear the frame.
-            self.obu.observe_channel_busy(now, at);
-            self.rsu.observe_channel_busy(now, at);
-            let outcome = self.channel.transmit_cached(
-                start,
-                self.obu.position(),
-                self.rsu.position(),
-                bytes.len(),
-                self.obu.config().data_rate,
-                &mut self.rng_channel,
-                &mut self.link_cache,
-            );
-            if outcome.delivered {
-                queue.schedule_at(
-                    outcome.arrival,
-                    Event::RsuCamRx {
-                        packet_bytes: bytes.into(),
-                    },
-                );
+        let obu_down = self.injector.node_down(now, FaultNode::Obu);
+        if !obu_down {
+            if let Ok(Some(cam_packet)) = self.obu.poll_cam(now) {
+                let bytes = cam_packet.to_bytes();
+                if !self.injector.radio_drop(now, FaultNode::Obu) {
+                    let start = self.obu.channel_access(
+                        now,
+                        &cam_packet,
+                        &self.medium,
+                        &mut self.rng_timing,
+                    );
+                    let at = airtime(bytes.len(), self.obu.config().data_rate);
+                    self.medium.occupy(start + at);
+                    // Congestion feedback: both radios hear the frame.
+                    self.obu.observe_channel_busy(now, at);
+                    self.rsu.observe_channel_busy(now, at);
+                    let outcome = self.channel.transmit_cached(
+                        start,
+                        self.obu.position(),
+                        self.rsu.position(),
+                        bytes.len(),
+                        self.obu.config().data_rate,
+                        &mut self.rng_channel,
+                        &mut self.link_cache,
+                    );
+                    if outcome.delivered {
+                        // Bit corruption mutates the on-air frame; the
+                        // RSU's real GeoNetworking decoder gets to
+                        // reject (or survive) the result.
+                        let packet_bytes: std::sync::Arc<[u8]> =
+                            match self.injector.corrupt_frame(now, &bytes) {
+                                Some(corrupted) => corrupted.into(),
+                                None => bytes.into(),
+                            };
+                        queue.schedule_at(outcome.arrival, Event::RsuCamRx { packet_bytes });
+                    }
+                }
             }
         }
 
@@ -565,6 +679,10 @@ impl Scenario {
     }
 
     fn on_camera_frame(&mut self, now: SimTime, queue: &mut EventQueue<Event>) {
+        // A crashed edge node captures nothing (frames resume on
+        // reboot); a dropped frame is lost but the pipeline keeps going.
+        let edge_down = self.injector.node_down(now, FaultNode::Edge);
+        let frame_lost = !edge_down && self.injector.drop_camera_frame(now);
         // Capture the world now; the detection output appears after the
         // inference latency.
         let target = GroundTruthTarget {
@@ -575,7 +693,7 @@ impl Scenario {
                 .to_degrees(),
             appearance: self.config.appearance,
         };
-        if self.config.camera.sees(&target) {
+        if !edge_down && !frame_lost && self.config.camera.sees(&target) {
             let inference = self
                 .rng_timing
                 .normal(self.config.inference_mean_s, self.config.inference_std_s)
@@ -586,7 +704,25 @@ impl Scenario {
                     .yolo
                     .process_frame(output_at, &[target], &mut self.rng_detector);
             for d in detections {
+                if self.injector.drop_detection(now) {
+                    continue;
+                }
                 queue.schedule_at(output_at, Event::DetectionOutput(d));
+            }
+        }
+        // Detector hallucination: a phantom object independent of any
+        // real target, emitted after the nominal inference latency.
+        if !edge_down && !frame_lost {
+            if let Some((distance, confidence)) = self.injector.phantom_detection(now) {
+                let output_at = now + SimDuration::from_secs_f64(self.config.inference_mean_s);
+                let phantom = Detection {
+                    target_id: self.next_object_id,
+                    label: "phantom".to_owned(),
+                    confidence,
+                    estimated_distance_m: distance,
+                    frame_time: output_at,
+                };
+                queue.schedule_at(output_at, Event::DetectionOutput(phantom));
             }
         }
         if !self.done {
@@ -603,6 +739,10 @@ impl Scenario {
         detection: Detection,
         queue: &mut EventQueue<Event>,
     ) {
+        // The edge node crashed between capture and inference output.
+        if self.injector.node_down(now, FaultNode::Edge) {
+            return;
+        }
         // Record the object in the (RSU-hosted) LDM like OpenC2X does.
         let (lat, lon) = lab_to_geo(
             GEO_ORIGIN,
@@ -650,7 +790,8 @@ impl Scenario {
             // Step 2: "the YOLO software registers the time the vehicle
             // is crossing the Action Point".
             self.record.step2_detection = Some(now);
-            self.record.step2_wall_ms = Some(self.edge_clock.wall_millis(now));
+            self.record.step2_wall_ms =
+                Some(self.skewed_wall(self.edge_clock.wall_millis(now), now, FaultNode::Edge));
             self.record.odometer_at_detection_m = Some(self.car.distance_m());
             self.record.speed_at_detection_mps = self.car.speed_mps();
             self.record.detection_distance_m = Some(detection.estimated_distance_m);
@@ -678,6 +819,11 @@ impl Scenario {
     }
 
     fn on_trigger_arrives(&mut self, now: SimTime, queue: &mut EventQueue<Event>) {
+        // A crashed RSU never sees the POST; its volatile DEN state is
+        // gone, so the trigger is simply lost.
+        if self.injector.node_down(now, FaultNode::Rsu) {
+            return;
+        }
         // The RSU's DEN app builds and encodes the DENM.
         let build = SimDuration::from_secs_f64(
             self.rng_timing
@@ -705,6 +851,9 @@ impl Scenario {
     }
 
     fn on_rsu_mac_handoff(&mut self, now: SimTime, queue: &mut EventQueue<Event>) {
+        if self.injector.node_down(now, FaultNode::Rsu) {
+            return;
+        }
         let packets = match self.rsu.poll_denm(now) {
             Ok(p) => p,
             Err(_) => return,
@@ -714,7 +863,8 @@ impl Scenario {
             // repetitions do not rewrite the measurement).
             if self.record.step3_rsu_send.is_none() {
                 self.record.step3_rsu_send = Some(now);
-                self.record.step3_wall_ms = Some(self.rsu.wall(now).millis());
+                self.record.step3_wall_ms =
+                    Some(self.skewed_wall(self.rsu.wall(now).millis(), now, FaultNode::Rsu));
             }
             self.record.trace.record(
                 now,
@@ -722,6 +872,12 @@ impl Scenario {
                 "denm_tx",
                 format!("{} bytes", packet.wire_size()),
             );
+            // Radio faults sit between the MAC and the channel model:
+            // the RSU believes it sent (step 3 stands) but nothing is
+            // ever on the air.
+            if self.injector.radio_drop(now, FaultNode::Rsu) {
+                continue;
+            }
             match self.config.denm_link {
                 DenmLink::Its80211p => {
                     let bytes = packet.to_bytes();
@@ -747,12 +903,26 @@ impl Scenario {
                         let rx_proc = SimDuration::from_secs_f64(
                             self.rng_timing.normal(0.0012, 0.0004).max(0.0002),
                         );
-                        queue.schedule_at(
-                            outcome.arrival + rx_proc,
-                            Event::ObuRx {
-                                denm_bytes: packet.payload.clone(),
+                        // Bit corruption hits the full GN frame on the
+                        // air; the real GeoNetworking parser decides
+                        // whether anything survives to the facilities
+                        // layer (which then re-judges the DENM bytes).
+                        let payload = match self.injector.corrupt_frame(now, &bytes) {
+                            None => Some(packet.payload.clone()),
+                            Some(corrupted) => match geonet::GnPacket::from_bytes(&corrupted) {
+                                Ok(p) => Some(p.payload),
+                                Err(_) => {
+                                    self.injector.note_rejected();
+                                    None
+                                }
                             },
-                        );
+                        };
+                        if let Some(denm_bytes) = payload {
+                            queue.schedule_at(
+                                outcome.arrival + rx_proc,
+                                Event::ObuRx { denm_bytes },
+                            );
+                        }
                     }
                 }
                 DenmLink::Cellular(_) => {
@@ -778,10 +948,28 @@ impl Scenario {
     }
 
     fn on_obu_rx(&mut self, now: SimTime, denm_bytes: std::sync::Arc<[u8]>) {
+        if self.injector.node_down(now, FaultNode::Obu) {
+            return;
+        }
+        // With the fault plane active the OBU's facilities layer
+        // re-validates the payload (corruption may have survived the GN
+        // header): a mangled DENM is rejected before the application
+        // ever sees it, and a decodable one doubles as a watchdog
+        // heartbeat. Skipped entirely on the baseline path.
+        if self.fault_active() {
+            if its_messages::denm::Denm::from_bytes(&denm_bytes).is_err() {
+                self.injector.note_rejected();
+                return;
+            }
+            if let Some(wd) = self.watchdog.as_mut() {
+                wd.heartbeat(now);
+            }
+        }
         // Step 4: OBU registers DENM reception (first copy only).
         if self.record.step4_obu_recv.is_none() {
             self.record.step4_obu_recv = Some(now);
-            self.record.step4_wall_ms = Some(self.obu.wall(now).millis());
+            self.record.step4_wall_ms =
+                Some(self.skewed_wall(self.obu.wall(now).millis(), now, FaultNode::Obu));
             self.record.denm_delivered = true;
             self.record
                 .trace
@@ -791,16 +979,37 @@ impl Scenario {
     }
 
     fn on_vehicle_poll(&mut self, now: SimTime, queue: &mut EventQueue<Event>) {
-        if !self.pending_denm.is_empty() {
-            let denm_bytes = self.pending_denm.remove(0);
-            // Localhost RTT with a truncated tail (same rationale as the
-            // trigger POST above).
-            let rtt = self
-                .config
-                .polling
-                .sample_http_rtt(&mut self.rng_timing)
-                .min(self.config.polling.http_base * 4);
-            queue.schedule_after(now, rtt, Event::PlannerNotified { denm_bytes });
+        // A crashed ECU skips this poll period but keeps the schedule:
+        // the polling script restarts with the node and resumes below.
+        let ecu_down = self.injector.node_down(now, FaultNode::Ecu);
+        if !ecu_down && !self.pending_denm.is_empty() {
+            // The blocking GET runs the deterministic bounded
+            // retry/backoff schedule; injected stalls are judged at the
+            // simulated instant each attempt would start.
+            let policy = self.config.poll_retry;
+            let injector = &mut self.injector;
+            match poll_with_retry(&policy, |_, offset| injector.http_stall(now + offset)) {
+                Ok(outcome) => {
+                    let denm_bytes = self.pending_denm.remove(0);
+                    // Localhost RTT with a truncated tail (same rationale
+                    // as the trigger POST above).
+                    let rtt = self
+                        .config
+                        .polling
+                        .sample_http_rtt(&mut self.rng_timing)
+                        .min(self.config.polling.http_base * 4);
+                    queue.schedule_after(
+                        now,
+                        outcome.delay + rtt,
+                        Event::PlannerNotified { denm_bytes },
+                    );
+                }
+                Err(_) => {
+                    // Budget exhausted: the DENM stays queued on the OBU
+                    // for the next poll period.
+                    self.injector.stats_mut().http_giveups += 1;
+                }
+            }
         }
         if !self.done && self.record.step5_actuation.is_none() {
             queue.schedule_at(
@@ -818,7 +1027,11 @@ impl Scenario {
         denm_bytes: std::sync::Arc<[u8]>,
         queue: &mut EventQueue<Event>,
     ) {
+        if self.injector.node_down(now, FaultNode::Ecu) {
+            return;
+        }
         let Ok(denm) = its_messages::denm::Denm::from_bytes(&denm_bytes) else {
+            self.injector.note_rejected();
             return;
         };
         let newly_stopped = self.planner.on_denm(&denm);
@@ -828,7 +1041,8 @@ impl Scenario {
                 SimDuration::from_secs_f64(self.rng_timing.normal(0.0003, 0.0001).max(0.00005));
             let at = now + issue;
             self.record.step5_actuation = Some(at);
-            self.record.step5_wall_ms = Some(self.ecu_clock.wall_millis(at));
+            self.record.step5_wall_ms =
+                Some(self.skewed_wall(self.ecu_clock.wall_millis(at), at, FaultNode::Ecu));
             self.record
                 .trace
                 .record(at, "ecu", "cut_cmd", "power cut commanded".to_owned());
@@ -843,6 +1057,73 @@ impl Scenario {
         self.record
             .trace
             .record(now, "ecu", "power_cut", "ESC output disabled".to_owned());
+    }
+
+    /// The RSU's liveness beacon (only scheduled with a watchdog): a
+    /// forced CAM through the real MAC + channel + decode path, so every
+    /// radio fault class also starves the heartbeat.
+    fn on_rsu_heartbeat(&mut self, now: SimTime, queue: &mut EventQueue<Event>) {
+        let Some(period) = self
+            .watchdog
+            .as_ref()
+            .map(|wd| wd.config().heartbeat_period)
+        else {
+            return;
+        };
+        if !self.done {
+            queue.schedule_after(now, period, Event::RsuHeartbeat);
+        }
+        if self.injector.node_down(now, FaultNode::Rsu)
+            || self.injector.radio_drop(now, FaultNode::Rsu)
+        {
+            return;
+        }
+        let Ok(packet) = self.rsu.heartbeat_cam(now) else {
+            return;
+        };
+        let bytes = packet.to_bytes();
+        let start = self
+            .rsu
+            .channel_access(now, &packet, &self.medium, &mut self.rng_timing);
+        let at = airtime(bytes.len(), self.rsu.config().data_rate);
+        self.medium.occupy(start + at);
+        self.obu.observe_channel_busy(now, at);
+        self.rsu.observe_channel_busy(now, at);
+        let outcome = self.channel.transmit_cached(
+            start,
+            self.rsu.position(),
+            self.obu.position(),
+            bytes.len(),
+            self.rsu.config().data_rate,
+            &mut self.rng_channel,
+            &mut self.link_cache,
+        );
+        if outcome.delivered {
+            let packet_bytes: std::sync::Arc<[u8]> = match self.injector.corrupt_frame(now, &bytes)
+            {
+                Some(corrupted) => corrupted.into(),
+                None => bytes.into(),
+            };
+            queue.schedule_at(outcome.arrival, Event::ObuCamRx { packet_bytes });
+        }
+    }
+
+    fn on_obu_cam_rx(&mut self, now: SimTime, packet_bytes: std::sync::Arc<[u8]>) {
+        if self.injector.node_down(now, FaultNode::Obu) {
+            return;
+        }
+        match geonet::GnPacket::from_bytes(&packet_bytes) {
+            Ok(packet) => {
+                let inds = self.obu.on_packet(now, &packet);
+                // Only a CAM the full stack accepted counts as liveness.
+                if !inds.is_empty() {
+                    if let Some(wd) = self.watchdog.as_mut() {
+                        wd.heartbeat(now);
+                    }
+                }
+            }
+            Err(_) => self.injector.note_rejected(),
+        }
     }
 }
 
@@ -860,17 +1141,22 @@ impl EventHandler for Scenario {
             Event::TriggerArrives => self.on_trigger_arrives(now, queue),
             Event::RsuMacHandoff => self.on_rsu_mac_handoff(now, queue),
             Event::ObuRx { denm_bytes } => self.on_obu_rx(now, denm_bytes),
-            Event::RsuCamRx { packet_bytes } => {
-                if let Ok(packet) = geonet::GnPacket::from_bytes(&packet_bytes) {
-                    let inds = self.rsu.on_packet(now, &packet);
-                    self.record.cams_received += inds.len() as u64;
+            Event::RsuCamRx { packet_bytes } => match geonet::GnPacket::from_bytes(&packet_bytes) {
+                Ok(packet) => {
+                    if !self.injector.node_down(now, FaultNode::Rsu) {
+                        let inds = self.rsu.on_packet(now, &packet);
+                        self.record.cams_received += inds.len() as u64;
+                    }
                 }
-            }
+                Err(_) => self.injector.note_rejected(),
+            },
             Event::VehiclePoll => self.on_vehicle_poll(now, queue),
             Event::PlannerNotified { denm_bytes } => {
                 self.on_planner_notified(now, denm_bytes, queue)
             }
             Event::PowerCutApplied => self.on_power_cut(now),
+            Event::RsuHeartbeat => self.on_rsu_heartbeat(now, queue),
+            Event::ObuCamRx { packet_bytes } => self.on_obu_cam_rx(now, packet_bytes),
         }
     }
 }

@@ -6,11 +6,11 @@
 //! ([`geonet::bytesio`]): big-endian, panic-free, a failed read is a
 //! typed error and never a panic.
 //!
-//! # Frame layout (version 1)
+//! # Frame layout (version 2)
 //!
 //! ```text
 //! u32  payload length          (length prefix, not counting itself)
-//! u8   version                 (WIRE_VERSION = 1)
+//! u8   version                 (WIRE_VERSION = 2)
 //! ...  fields in declaration order:
 //!        Option<SimTime>       presence u8 (0|1) + u64 nanos
 //!        Option<u64>/Option<f64> presence u8 + u64 (f64 via to_bits)
@@ -19,20 +19,34 @@
 //!        u64                   u64
 //!        Trace                 u32 count + events, each
 //!                                u64 nanos + 3 × (u32 len + UTF-8 bytes)
+//!        FaultStats            8 × u64 + 2 × bool (appended by v2)
 //! ```
 //!
 //! Decoding is strict: unknown version, presence, or bool bytes are
 //! rejected, as are trailing bytes after the declared payload — a frame
 //! either decodes to exactly the record that produced it or fails with a
 //! [`WireError`].
+//!
+//! # Backward compatibility
+//!
+//! Version bumps only ever *append* fields, and the decoder keeps
+//! accepting every older version it has shipped: a version-1 frame
+//! (before the fault plane existed) decodes to a record whose
+//! [`FaultStats`] counters are all zero — exactly what a faultless v1
+//! run would have reported — never to an error. Versions newer than
+//! [`WIRE_VERSION`] are rejected.
 
 use crate::scenario::RunRecord;
+use faults::FaultStats;
 use geonet::bytesio::{ByteReader, ByteWriterExt};
 use geonet::GeonetError;
 use sim_core::{SimTime, Trace, TraceEvent};
 
 /// Current wire format version; bumped on any layout change.
-pub const WIRE_VERSION: u8 = 1;
+pub const WIRE_VERSION: u8 = 2;
+
+/// Oldest version [`RunRecord::decode`] still accepts.
+pub const MIN_WIRE_VERSION: u8 = 1;
 
 /// Error produced when decoding a [`RunRecord`] frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -147,6 +161,34 @@ fn get_str(r: &mut ByteReader<'_>) -> Result<String, WireError> {
     String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
 }
 
+fn put_fault_stats(out: &mut Vec<u8>, s: &FaultStats) {
+    out.put_u64(s.injected);
+    out.put_u64(s.frames_corrupted);
+    out.put_u64(s.corrupted_rejected);
+    out.put_u64(s.http_stalls);
+    out.put_u64(s.http_giveups);
+    out.put_u64(s.watchdog_speed_caps);
+    out.put_u64(s.watchdog_stops);
+    out.put_u64(s.watchdog_recoveries);
+    put_bool(out, s.failsafe_stop);
+    put_bool(out, s.overran_camera);
+}
+
+fn get_fault_stats(r: &mut ByteReader<'_>) -> Result<FaultStats, WireError> {
+    Ok(FaultStats {
+        injected: r.u64()?,
+        frames_corrupted: r.u64()?,
+        corrupted_rejected: r.u64()?,
+        http_stalls: r.u64()?,
+        http_giveups: r.u64()?,
+        watchdog_speed_caps: r.u64()?,
+        watchdog_stops: r.u64()?,
+        watchdog_recoveries: r.u64()?,
+        failsafe_stop: get_bool(r)?,
+        overran_camera: get_bool(r)?,
+    })
+}
+
 impl RunRecord {
     /// Encodes the record as one self-delimiting frame: a `u32` length
     /// prefix followed by a versioned payload. Frames can be written
@@ -179,6 +221,7 @@ impl RunRecord {
             put_str(&mut p, &e.kind);
             put_str(&mut p, &e.detail);
         }
+        put_fault_stats(&mut p, &self.fault);
         let mut out = Vec::with_capacity(p.len() + 4);
         out.put_u32(p.len() as u32);
         out.extend_from_slice(&p);
@@ -203,7 +246,7 @@ impl RunRecord {
         let payload = r.take(len)?;
         let mut p = ByteReader::new(payload);
         let version = p.u8()?;
-        if version != WIRE_VERSION {
+        if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
             return Err(WireError::UnsupportedVersion(version));
         }
         let step1_crossing = get_opt_time(&mut p)?;
@@ -240,6 +283,13 @@ impl RunRecord {
                 detail,
             }]);
         }
+        // Version 1 predates the fault plane; its records decode with
+        // zeroed counters, the values a faultless run reports.
+        let fault = if version >= 2 {
+            get_fault_stats(&mut p)?
+        } else {
+            FaultStats::default()
+        };
         if p.remaining() != 0 {
             return Err(WireError::TrailingBytes(p.remaining()));
         }
@@ -263,6 +313,7 @@ impl RunRecord {
             cams_received,
             events_dispatched,
             trace,
+            fault,
         })
     }
 }
@@ -322,6 +373,116 @@ mod tests {
             RunRecord::decode(&bytes),
             Err(WireError::UnsupportedVersion(99))
         );
+        bytes[4] = 0; // version 0 never shipped
+        assert_eq!(
+            RunRecord::decode(&bytes),
+            Err(WireError::UnsupportedVersion(0))
+        );
+    }
+
+    /// A frame captured verbatim from the version-1 encoder (the build
+    /// immediately before the fault plane landed). The compat rule under
+    /// test: old frames keep decoding, with zeroed fault counters.
+    const V1_FRAME: &[u8] = &[
+        0x00, 0x00, 0x00, 0xf1, 0x01, 0x01, 0x00, 0x00, 0x00, 0x00, 0x62, 0x86, 0xc7, 0x40, 0x01,
+        0x00, 0x00, 0x00, 0x00, 0x65, 0x53, 0xf1, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x3b, 0x9a,
+        0xd0, 0xa4, 0x01, 0x00, 0x00, 0x00, 0x00, 0x68, 0xe7, 0x78, 0x00, 0x01, 0x00, 0x00, 0x00,
+        0x00, 0x3b, 0x9a, 0xd0, 0xe0, 0x01, 0x00, 0x00, 0x00, 0x00, 0x69, 0x33, 0xc3, 0x40, 0x01,
+        0x00, 0x00, 0x00, 0x00, 0x3b, 0x9a, 0xd0, 0xe5, 0x01, 0x00, 0x00, 0x00, 0x00, 0x6a, 0xb1,
+        0x3b, 0x80, 0x01, 0x00, 0x00, 0x00, 0x00, 0x3b, 0x9a, 0xd0, 0xfe, 0x01, 0x00, 0x00, 0x00,
+        0x00, 0x89, 0x17, 0x37, 0x00, 0x01, 0x40, 0x04, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x01,
+        0x40, 0x0b, 0x33, 0x33, 0x33, 0x33, 0x33, 0x33, 0x3f, 0xf8, 0x00, 0x00, 0x00, 0x00, 0x00,
+        0x00, 0x01, 0x3f, 0xe3, 0x33, 0x33, 0x33, 0x33, 0x33, 0x33, 0x01, 0x3f, 0xf7, 0xae, 0x14,
+        0x7a, 0xe1, 0x47, 0xae, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x21, 0x00, 0x00,
+        0x00, 0x00, 0x00, 0x00, 0x01, 0x9c, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00, 0x00, 0x65,
+        0x53, 0xf1, 0x00, 0x00, 0x00, 0x00, 0x04, 0x65, 0x64, 0x67, 0x65, 0x00, 0x00, 0x00, 0x05,
+        0x73, 0x74, 0x65, 0x70, 0x32, 0x00, 0x00, 0x00, 0x11, 0x64, 0x65, 0x74, 0x65, 0x63, 0x74,
+        0x69, 0x6f, 0x6e, 0x20, 0x64, 0x65, 0x63, 0x69, 0x64, 0x65, 0x64, 0x00, 0x00, 0x00, 0x00,
+        0x68, 0xe7, 0x78, 0x00, 0x00, 0x00, 0x00, 0x03, 0x72, 0x73, 0x75, 0x00, 0x00, 0x00, 0x05,
+        0x73, 0x74, 0x65, 0x70, 0x33, 0x00, 0x00, 0x00, 0x0b, 0x64, 0x65, 0x6e, 0x6d, 0x20, 0x6f,
+        0x6e, 0x20, 0x61, 0x69, 0x72,
+    ];
+
+    /// The record the captured v1 frame was produced from.
+    fn v1_capture_record() -> RunRecord {
+        let mut trace = Trace::new();
+        trace.record(
+            SimTime::from_millis(1700),
+            "edge",
+            "step2",
+            "detection decided",
+        );
+        trace.record(SimTime::from_millis(1760), "rsu", "step3", "denm on air");
+        RunRecord {
+            step1_crossing: Some(SimTime::from_millis(1653)),
+            step2_detection: Some(SimTime::from_millis(1700)),
+            step2_wall_ms: Some(1_000_001_700),
+            step3_rsu_send: Some(SimTime::from_millis(1760)),
+            step3_wall_ms: Some(1_000_001_760),
+            step4_obu_recv: Some(SimTime::from_millis(1765)),
+            step4_wall_ms: Some(1_000_001_765),
+            step5_actuation: Some(SimTime::from_millis(1790)),
+            step5_wall_ms: Some(1_000_001_790),
+            step6_halt: Some(SimTime::from_millis(2300)),
+            odometer_at_detection_m: Some(2.55),
+            odometer_at_halt_m: Some(3.4),
+            speed_at_detection_mps: 1.5,
+            halt_distance_to_camera_m: Some(0.6),
+            detection_distance_m: Some(1.48),
+            denm_delivered: true,
+            cams_received: 33,
+            events_dispatched: 412,
+            trace,
+            fault: FaultStats::default(),
+        }
+    }
+
+    #[test]
+    fn version1_frame_decodes_with_zeroed_fault_counters() {
+        assert_eq!(V1_FRAME[4], 1, "captured frame must be version 1");
+        let record = RunRecord::decode(V1_FRAME).expect("v1 frame must keep decoding");
+        assert_eq!(record.fault, FaultStats::default());
+        assert_eq!(record, v1_capture_record());
+    }
+
+    #[test]
+    fn version1_frame_truncation_still_fails_cleanly() {
+        for cut in 0..V1_FRAME.len() {
+            assert!(RunRecord::decode(&V1_FRAME[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn version2_appends_fault_stats_after_v1_layout() {
+        // Re-encoding the captured record under the current version must
+        // produce the v1 bytes (with the version byte bumped) followed by
+        // exactly the fault-stats tail — the append-only compat rule.
+        let v2 = v1_capture_record().encode();
+        const TAIL: usize = 8 * 8 + 2; // 8 u64 counters + 2 bools
+        assert_eq!(v2.len(), V1_FRAME.len() + TAIL);
+        assert_eq!(v2[4], WIRE_VERSION);
+        assert_eq!(&v2[5..V1_FRAME.len()], &V1_FRAME[5..]);
+        assert!(v2[V1_FRAME.len()..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn fault_stats_roundtrip_bitwise() {
+        let mut record = sample_record();
+        record.fault = FaultStats {
+            injected: 17,
+            frames_corrupted: 5,
+            corrupted_rejected: 4,
+            http_stalls: 3,
+            http_giveups: 1,
+            watchdog_speed_caps: 2,
+            watchdog_stops: 1,
+            watchdog_recoveries: 1,
+            failsafe_stop: true,
+            overran_camera: false,
+        };
+        let back = RunRecord::decode(&record.encode()).unwrap();
+        assert_eq!(back.fault, record.fault);
+        assert!(records_bitwise_equal(&record, &back));
     }
 
     #[test]

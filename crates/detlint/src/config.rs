@@ -44,6 +44,8 @@ impl Default for Config {
                 "core".into(),
                 "vehicle".into(),
                 "perception".into(),
+                "shard".into(),
+                "faults".into(),
             ],
             s2_paths: vec![
                 "crates/phy80211p/src/edca.rs".into(),

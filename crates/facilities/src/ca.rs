@@ -171,6 +171,17 @@ impl CaService {
                 }
             }
         }
+        Some(self.generate(now, state))
+    }
+
+    /// Builds a CAM for `state` unconditionally, bypassing the EN 302
+    /// 637-2 trigger rules. This is the build step [`poll`](Self::poll)
+    /// runs once a CAM is due; callers that need a fixed beacon cadence
+    /// regardless of station dynamics — a stationary RSU acting as a
+    /// liveness heartbeat for a vehicle-side watchdog — invoke it
+    /// directly. Counts toward [`generated`](Self::generated) and
+    /// advances the path history like any triggered CAM.
+    pub fn generate(&mut self, now: SimTime, state: &StationState) -> Cam {
         self.last = Some((now, *state));
         self.generated += 1;
         // Record the path point for future LF containers.
@@ -191,7 +202,7 @@ impl CaService {
                 path_history: self.path_history(state.position, now),
             });
         }
-        Some(cam)
+        cam
     }
 
     /// Builds the path history relative to the current position (newest

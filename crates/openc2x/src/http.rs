@@ -14,6 +14,8 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use sim_core::SimDuration;
+
 /// An HTTP request as seen by a handler.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
@@ -338,6 +340,115 @@ pub fn post(addr: SocketAddr, path: &str, body: &[u8]) -> std::io::Result<Client
     request(addr, "POST", path, body)
 }
 
+/// Deterministic bounded retry/backoff policy for the vehicle's OBU
+/// poll path.
+///
+/// Mirrors the blocking HTTP client the real OpenC2X vehicle uses, but in
+/// simulated time: each attempt either returns within the attempt window
+/// or times out after [`attempt_timeout`](Self::attempt_timeout), and
+/// failed attempts back off exponentially
+/// (`backoff_base * backoff_factor^attempt`). The schedule is pure
+/// arithmetic over [`SimDuration`] — no randomness, no wall clock — so
+/// the DENM notification latency observed under a transient stall is an
+/// exact function of the policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts before giving up (minimum 1).
+    pub max_attempts: u32,
+    /// Simulated time charged to an attempt that stalls.
+    pub attempt_timeout: SimDuration,
+    /// Backoff before the second attempt.
+    pub backoff_base: SimDuration,
+    /// Multiplier applied to the backoff after each failed attempt.
+    pub backoff_factor: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            attempt_timeout: SimDuration::from_millis(20),
+            backoff_base: SimDuration::from_millis(10),
+            backoff_factor: 2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff inserted after failed attempt `attempt` (0-based):
+    /// `backoff_base * backoff_factor^attempt`, saturating.
+    pub fn backoff(&self, attempt: u32) -> SimDuration {
+        let factor = u64::from(self.backoff_factor).saturating_pow(attempt);
+        SimDuration::from_nanos(self.backoff_base.as_nanos().saturating_mul(factor))
+    }
+}
+
+/// Error returned when every attempt of a retried poll stalled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PollError {
+    /// All attempts timed out; `waited` is the simulated time burned on
+    /// timeouts and backoffs before giving up.
+    RetriesExhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// Total simulated time spent before giving up.
+        waited: SimDuration,
+    },
+}
+
+impl std::fmt::Display for PollError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::RetriesExhausted { attempts, waited } => write!(
+                f,
+                "poll retries exhausted after {attempts} attempts ({} us waited)",
+                waited.as_micros()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PollError {}
+
+/// Outcome of a successful (possibly retried) poll.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PollOutcome {
+    /// Attempts made, counting the successful one (1 = no retry needed).
+    pub attempts: u32,
+    /// Simulated delay accumulated by failed attempts before the
+    /// successful one (zero when the first attempt succeeds).
+    pub delay: SimDuration,
+}
+
+/// Runs the deterministic retry schedule of `policy` against `stalled`,
+/// a predicate telling whether the attempt starting `offset` after the
+/// poll began stalls (e.g. an injected fault window).
+///
+/// Returns the attempt count and accumulated pre-response delay on
+/// success, or [`PollError::RetriesExhausted`] once the budget is spent.
+/// A first-attempt success costs zero delay, making the retry path a
+/// strict no-op for healthy links.
+pub fn poll_with_retry(
+    policy: &RetryPolicy,
+    mut stalled: impl FnMut(u32, SimDuration) -> bool,
+) -> Result<PollOutcome, PollError> {
+    let attempts = policy.max_attempts.max(1);
+    let mut waited = SimDuration::ZERO;
+    for attempt in 0..attempts {
+        if !stalled(attempt, waited) {
+            return Ok(PollOutcome {
+                attempts: attempt + 1,
+                delay: waited,
+            });
+        }
+        waited = waited + policy.attempt_timeout;
+        if attempt + 1 < attempts {
+            waited = waited + policy.backoff(attempt);
+        }
+    }
+    Err(PollError::RetriesExhausted { attempts, waited })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -401,6 +512,78 @@ mod tests {
             h.join().unwrap();
         }
         server.shutdown();
+    }
+
+    #[test]
+    fn first_attempt_success_is_free() {
+        let outcome = poll_with_retry(&RetryPolicy::default(), |_, _| false).unwrap();
+        assert_eq!(outcome.attempts, 1);
+        assert_eq!(outcome.delay, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn retry_delay_follows_timeout_plus_exponential_backoff() {
+        let policy = RetryPolicy::default();
+        // Attempt 0 stalls, attempt 1 succeeds: 20 ms timeout + 10 ms backoff.
+        let outcome = poll_with_retry(&policy, |attempt, _| attempt == 0).unwrap();
+        assert_eq!(outcome.attempts, 2);
+        assert_eq!(outcome.delay, SimDuration::from_millis(30));
+        // Attempts 0 and 1 stall: 20 + 10 + 20 + 20 = 70 ms before attempt 2.
+        let outcome = poll_with_retry(&policy, |attempt, _| attempt < 2).unwrap();
+        assert_eq!(outcome.attempts, 3);
+        assert_eq!(outcome.delay, SimDuration::from_millis(70));
+    }
+
+    #[test]
+    fn stall_predicate_sees_accumulated_offset() {
+        let policy = RetryPolicy::default();
+        let mut offsets = Vec::new();
+        let _ = poll_with_retry(&policy, |_, offset| {
+            offsets.push(offset);
+            true
+        });
+        assert_eq!(
+            offsets,
+            vec![
+                SimDuration::ZERO,
+                SimDuration::from_millis(30),
+                SimDuration::from_millis(70),
+            ]
+        );
+    }
+
+    #[test]
+    fn exhaustion_reports_attempts_and_waited_time() {
+        let policy = RetryPolicy::default();
+        let err = poll_with_retry(&policy, |_, _| true).unwrap_err();
+        // 3 timeouts (60 ms) + backoffs 10 + 20 ms; no backoff after the last.
+        assert_eq!(
+            err,
+            PollError::RetriesExhausted {
+                attempts: 3,
+                waited: SimDuration::from_millis(90),
+            }
+        );
+    }
+
+    #[test]
+    fn zero_attempts_still_tries_once() {
+        let policy = RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::default()
+        };
+        let outcome = poll_with_retry(&policy, |_, _| false).unwrap();
+        assert_eq!(outcome.attempts, 1);
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        let policy = RetryPolicy {
+            max_attempts: 80,
+            backoff_factor: u32::MAX,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(policy.backoff(70), SimDuration::from_nanos(u64::MAX));
     }
 
     #[test]

@@ -30,4 +30,5 @@ pub mod http;
 pub mod node;
 
 pub use api::{ObuApi, RsuApi, WebInterface};
+pub use http::{poll_with_retry, PollError, PollOutcome, RetryPolicy};
 pub use node::{ItsStation, PollingModel, StationConfig, StationRole};

@@ -320,6 +320,33 @@ impl ItsStation {
         }
     }
 
+    /// Generates one CAM *now*, bypassing both the EN 302 637-2 trigger
+    /// rules and the DCC gate, and returns it as an SHB packet.
+    ///
+    /// This is the liveness-beacon path: a stationary RSU would
+    /// otherwise only beacon at `T_GenCamMax` (1 s), far too slow for a
+    /// vehicle-side heartbeat watchdog with sub-second deadlines. The
+    /// scenario drives this at the watchdog's heartbeat period when one
+    /// is configured; it is never called on the baseline path.
+    ///
+    /// # Errors
+    ///
+    /// Returns an encoding error if the CAM violates a constraint
+    /// (cannot happen for states produced by `set_motion`).
+    pub fn heartbeat_cam(&mut self, now: SimTime) -> uper::Result<GnPacket> {
+        let state = self.station_state();
+        let cam = self.ca.generate(now, &state);
+        let payload = cam.to_bytes()?;
+        self.tx_count += 1;
+        self.dcc.on_transmitted(now);
+        Ok(GnPacket::single_hop(
+            self.position_vector(now),
+            TrafficClass::dp2(),
+            BtpPort::CAM,
+            payload,
+        ))
+    }
+
     /// Application trigger: registers a DENM request with the DEN
     /// service. Returns the allocated action id.
     pub fn trigger_denm(&mut self, now: SimTime, request: DenRequest) -> ActionId {

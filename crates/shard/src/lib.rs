@@ -81,6 +81,13 @@ pub const WORKER_FLAG: &str = "--shard-worker";
 /// coordinator's recovery path.
 pub const KILL_ENV: &str = "SHARD_INJECT_KILL";
 
+/// Fault-injection environment variable: a comma-separated list of
+/// worker indices that must hang forever after reading their
+/// assignment, never writing a byte. Exercises the coordinator's
+/// result-timeout path ([`ShardExecutor::timed_out_chunks`]): the hung
+/// child is killed and its chunk re-executed in-process.
+pub const HANG_ENV: &str = "SHARD_INJECT_HANG";
+
 /// Wire version of the shard assignment/result protocol.
 const PROTOCOL_VERSION: u8 = 1;
 /// Assignment frame magic (coordinator → worker stdin).
@@ -345,13 +352,21 @@ fn compute_chunk(
     }
 }
 
-fn kill_requested(worker_index: u32) -> bool {
-    std::env::var(KILL_ENV)
+fn injection_requested(env: &str, worker_index: u32) -> bool {
+    std::env::var(env)
         .map(|v| {
             v.split(',')
                 .any(|tok| tok.trim().parse::<u32>() == Ok(worker_index))
         })
         .unwrap_or(false)
+}
+
+fn kill_requested(worker_index: u32) -> bool {
+    injection_requested(KILL_ENV, worker_index)
+}
+
+fn hang_requested(worker_index: u32) -> bool {
+    injection_requested(HANG_ENV, worker_index)
 }
 
 /// Enters worker mode — and never returns — when `--shard-worker` is on
@@ -388,6 +403,14 @@ fn run_worker(registry: &CampaignRegistry) -> Result<(), ShardError> {
         out.write_all(RESULT_MAGIC)?;
         out.flush()?;
         std::process::exit(9);
+    }
+    if hang_requested(assignment.worker_index) {
+        // Hang without producing a byte: the coordinator's result
+        // timeout must fire, kill this process, and re-run the chunk.
+        // park() may wake spuriously, hence the loop.
+        loop {
+            std::thread::park();
+        }
     }
 
     let grid = registry
@@ -438,6 +461,7 @@ pub struct ShardExecutor {
     grid_fp: u64,
     timeout: Duration,
     fallback_chunks: AtomicUsize,
+    timed_out_chunks: AtomicUsize,
 }
 
 impl ShardExecutor {
@@ -459,6 +483,7 @@ impl ShardExecutor {
             grid_fp,
             timeout: Duration::from_secs(120),
             fallback_chunks: AtomicUsize::new(0),
+            timed_out_chunks: AtomicUsize::new(0),
         })
     }
 
@@ -480,6 +505,14 @@ impl ShardExecutor {
     /// recovery.
     pub fn fallback_chunks(&self) -> usize {
         self.fallback_chunks.load(Ordering::Relaxed)
+    }
+
+    /// How many of the [`Self::fallback_chunks`] were caused by the
+    /// per-worker result timeout specifically (a hung or wedged worker
+    /// that was killed). The hang-injection test asserts this is the
+    /// failure class actually exercised.
+    pub fn timed_out_chunks(&self) -> usize {
+        self.timed_out_chunks.load(Ordering::Relaxed)
     }
 
     /// Shards `jobs` flat indices across the worker processes and merges
@@ -589,6 +622,7 @@ impl ShardExecutor {
             Err(_) => {
                 let _ = child.kill();
                 let _ = child.wait();
+                self.timed_out_chunks.fetch_add(1, Ordering::Relaxed);
                 return Err(ShardError::Io("worker timed out".into()));
             }
         };
@@ -787,5 +821,15 @@ mod tests {
         assert!(kill_requested(3));
         std::env::remove_var(KILL_ENV);
         assert!(!kill_requested(1));
+    }
+
+    #[test]
+    fn hang_list_parses() {
+        std::env::set_var(HANG_ENV, "0,2");
+        assert!(hang_requested(0));
+        assert!(!hang_requested(1));
+        assert!(hang_requested(2));
+        std::env::remove_var(HANG_ENV);
+        assert!(!hang_requested(0));
     }
 }

@@ -17,7 +17,10 @@
 //! * [`actuators`] — ESC/PWM and the Teensy USART link, including the
 //!   emergency power-cut path,
 //! * [`planner`] — the Motion Planner and Message Handler: line following
-//!   in normal operation, stop override when a DENM arrives.
+//!   in normal operation, stop override when a DENM arrives,
+//! * [`watchdog`] — the V2X heartbeat watchdog: supervises CAM/DENM
+//!   liveness and drives the fail-safe degradation ladder (speed cap,
+//!   controlled stop, recovery).
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
@@ -30,6 +33,7 @@ pub mod pid;
 pub mod planner;
 pub mod sensors;
 pub mod speed;
+pub mod watchdog;
 
 pub use actuators::{ActuatorCommand, TeensyLink};
 pub use dynamics::{BicycleState, LongitudinalModel, VehicleParams};
@@ -38,3 +42,4 @@ pub use pid::Pid;
 pub use planner::{DriveMode, MessageHandler, MotionPlanner, StopPolicy};
 pub use sensors::{ImuModel, WheelOdometry};
 pub use speed::SpeedController;
+pub use watchdog::{DegradationLevel, V2xWatchdog, WatchdogConfig, WatchdogTrips};

@@ -8,6 +8,7 @@
 //! received DENM cuts wheel power (§III-D2).
 
 use crate::actuators::ActuatorCommand;
+use crate::watchdog::DegradationLevel;
 use its_messages::cause_codes::CauseCode;
 use its_messages::denm::Denm;
 
@@ -116,6 +117,8 @@ pub struct MotionPlanner {
     cruise_throttle: f64,
     mode: DriveMode,
     last_steering: f64,
+    degradation: DegradationLevel,
+    failsafe_scale: f64,
 }
 
 impl MotionPlanner {
@@ -126,7 +129,25 @@ impl MotionPlanner {
             cruise_throttle: cruise_throttle.clamp(0.0, 1.0),
             mode: DriveMode::LineFollow,
             last_steering: 0.0,
+            degradation: DegradationLevel::Nominal,
+            failsafe_scale: 0.5,
         }
+    }
+
+    /// Sets the throttle multiplier used in [`DegradationLevel::SpeedCap`].
+    pub fn set_failsafe_scale(&mut self, scale: f64) {
+        self.failsafe_scale = scale.clamp(0.0, 1.0);
+    }
+
+    /// Updates the fail-safe degradation level the planner must honour
+    /// (decided by the V2X watchdog each control period).
+    pub fn set_degradation(&mut self, level: DegradationLevel) {
+        self.degradation = level;
+    }
+
+    /// The degradation level currently honoured.
+    pub fn degradation(&self) -> DegradationLevel {
+        self.degradation
     }
 
     /// The message handler (to feed received DENMs).
@@ -169,8 +190,13 @@ impl MotionPlanner {
                 if let Some(s) = steering {
                     self.last_steering = s;
                 }
+                let throttle = match self.degradation {
+                    DegradationLevel::Nominal => self.cruise_throttle,
+                    DegradationLevel::SpeedCap => self.cruise_throttle * self.failsafe_scale,
+                    DegradationLevel::ControlledStop => 0.0,
+                };
                 ActuatorCommand::Drive {
-                    throttle: self.cruise_throttle,
+                    throttle,
                     steering_rad: self.last_steering,
                 }
             }
@@ -262,6 +288,43 @@ mod tests {
             ActuatorCommand::Drive { steering_rad, .. } => assert_eq!(steering_rad, 0.2),
             other => panic!("unexpected command {other:?}"),
         }
+    }
+
+    #[test]
+    fn degradation_caps_then_zeroes_throttle() {
+        let mut planner = MotionPlanner::new(0.4, StopPolicy::AnyDenm);
+        planner.set_failsafe_scale(0.5);
+        planner.set_degradation(DegradationLevel::SpeedCap);
+        match planner.plan(Some(0.1)) {
+            ActuatorCommand::Drive { throttle, .. } => assert_eq!(throttle, 0.2),
+            other => panic!("unexpected command {other:?}"),
+        }
+        planner.set_degradation(DegradationLevel::ControlledStop);
+        match planner.plan(Some(0.1)) {
+            ActuatorCommand::Drive {
+                throttle,
+                steering_rad,
+            } => {
+                assert_eq!(throttle, 0.0, "controlled stop coasts down");
+                assert_eq!(steering_rad, 0.1, "steering stays active while stopping");
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+        planner.set_degradation(DegradationLevel::Nominal);
+        match planner.plan(Some(0.1)) {
+            ActuatorCommand::Drive { throttle, .. } => assert_eq!(throttle, 0.4),
+            other => panic!("unexpected command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn emergency_stop_outranks_degradation_recovery() {
+        // A latched DENM stop must not be undone by the watchdog reporting
+        // a healthy link again.
+        let mut planner = MotionPlanner::new(0.25, StopPolicy::AnyDenm);
+        planner.on_denm(&denm(None));
+        planner.set_degradation(DegradationLevel::Nominal);
+        assert_eq!(planner.plan(Some(0.0)), ActuatorCommand::CutPower);
     }
 
     #[test]

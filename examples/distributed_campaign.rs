@@ -78,8 +78,9 @@ fn main() {
     let identical = sharded.render() == serial.render();
     println!(
         "\nsharded output bitwise identical to serial: {identical} \
-         ({} chunk(s) re-executed in-process)",
-        exec.fallback_chunks()
+         ({} chunk(s) re-executed in-process, {} via worker timeout)",
+        exec.fallback_chunks(),
+        exec.timed_out_chunks()
     );
     if !identical {
         eprintln!("distributed_campaign: shard output diverged from serial");

@@ -30,6 +30,14 @@ cargo run -q -p detlint
 echo "==> shard smoke (distributed_campaign, 2 workers)"
 cargo run -q -p shard --example distributed_campaign --release -- --shard-workers 2 >/dev/null
 
+# Fault-campaign smoke: the fault class × intensity sweep with the V2X
+# watchdog enabled (DESIGN.md §11). The example runs the grid serially
+# and on the thread runner and exits non-zero if the two tables are not
+# byte-identical, so this doubles as a determinism check on the
+# fault-injection plane.
+echo "==> fault-campaign smoke (fault_sweep, 2 runs/cell)"
+cargo run -q -p its-testbed --example fault_sweep --release -- --runs 2 >/dev/null
+
 # Bench smoke: run the campaign-throughput bench in quick mode (32 runs
 # per table) so the harness, its serial-vs-parallel bit-equality
 # assertion, and the JSON writer all execute; then restore the tracked

@@ -1,0 +1,236 @@
+//! Tier-1 tests for the deterministic fault-injection plane (DESIGN.md
+//! §11): arbitrary fault plans stay bitwise reproducible across
+//! executors, injected corruption never panics the real decoders, the
+//! empty plan is a strict no-op, and the vehicle's heartbeat watchdog
+//! degrades and recovers as specified.
+
+use faults::{FaultInjector, FaultKind, FaultPlan, FaultStats, FaultWindow};
+use its_testbed::campaign::{CampaignSpec, Executor, Serial};
+use its_testbed::scenario::{Scenario, ScenarioConfig};
+use its_testbed::Runner;
+use openc2x::node::{ItsStation, StationConfig};
+use proptest::prelude::*;
+use sim_core::{NodeClock, NtpModel, SimDuration, SimRng, SimTime};
+use vehicle::watchdog::WatchdogConfig;
+
+fn base(seed: u64) -> ScenarioConfig {
+    ScenarioConfig {
+        seed,
+        ..ScenarioConfig::default()
+    }
+}
+
+#[test]
+fn empty_plan_leaves_fault_counters_zero() {
+    let record = Scenario::new(base(1)).run();
+    assert!(record.completed());
+    assert_eq!(record.fault, FaultStats::default());
+}
+
+#[test]
+fn healthy_watchdog_run_stays_nominal_and_completes() {
+    // Heartbeat CAMs flow at 100 ms over a clean 1.7 m link: the
+    // watchdog must never trip, and the pipeline completes as usual.
+    let record = Scenario::new(ScenarioConfig {
+        watchdog: Some(WatchdogConfig::default()),
+        ..base(5)
+    })
+    .run();
+    assert!(record.completed(), "{record:?}");
+    assert_eq!(record.fault.watchdog_speed_caps, 0);
+    assert_eq!(record.fault.watchdog_stops, 0);
+    assert!(!record.fault.failsafe_stop);
+    assert!(!record.fault.overran_camera);
+}
+
+#[test]
+fn total_radio_silence_after_detection_fails_safe() {
+    // The hazard is detected, then the radio dies for good: the DENM
+    // never arrives, the heartbeats starve, and the watchdog must stop
+    // the vehicle before the camera line — a controlled fail-safe stop,
+    // not a collision. Detection leaves ~1 s of travel to the camera,
+    // so this demo uses a ladder tight enough to stop inside it (the
+    // library default of 400 ms/1.2 s is tuned for cruising, not for a
+    // hazard already this close).
+    let nominal = Scenario::new(base(11)).run();
+    let detect = nominal.step2_detection.expect("nominal run detects");
+    let record = Scenario::new(ScenarioConfig {
+        fault_plan: FaultPlan::new(vec![
+            FaultKind::RadioSilence { prob: 1.0 }.during(FaultWindow::new(detect, SimTime::MAX))
+        ]),
+        watchdog: Some(WatchdogConfig {
+            stale_after: SimDuration::from_millis(150),
+            stop_after: SimDuration::from_millis(400),
+            ..WatchdogConfig::default()
+        }),
+        ..base(11)
+    })
+    .run();
+    assert!(!record.denm_delivered, "silent radio delivered a DENM");
+    assert!(!record.completed());
+    assert!(record.fault.failsafe_stop, "{record:?}");
+    assert!(!record.fault.overran_camera, "vehicle hit the camera line");
+    assert!(record.fault.watchdog_stops >= 1);
+    let margin = record
+        .halt_distance_to_camera_m
+        .expect("fail-safe halt recorded");
+    assert!(margin > 0.0, "stopped {margin} m past the camera");
+}
+
+#[test]
+fn transient_radio_silence_recovers_to_nominal() {
+    // An 800 ms outage before the hazard: the watchdog caps the speed,
+    // recovers when beacons resume, and the pipeline then completes.
+    let record = Scenario::new(ScenarioConfig {
+        fault_plan: FaultPlan::new(vec![FaultKind::RadioSilence { prob: 1.0 }.during(
+            FaultWindow::new(SimTime::from_millis(300), SimTime::from_millis(1100)),
+        )]),
+        watchdog: Some(WatchdogConfig::default()),
+        ..base(12)
+    })
+    .run();
+    assert!(record.fault.watchdog_speed_caps >= 1, "{record:?}");
+    assert!(record.fault.watchdog_recoveries >= 1, "{record:?}");
+    assert!(!record.fault.failsafe_stop);
+    assert!(!record.fault.overran_camera);
+    assert!(record.completed(), "{record:?}");
+}
+
+#[test]
+fn transient_http_stall_latency_follows_retry_schedule() {
+    // Stall every poll attempt starting within 50 ms of the DENM
+    // reaching the OBU. The first attempt of the next poll stalls; the
+    // retry schedule (20 ms timeout + 10 ms backoff per round) decides
+    // exactly how much later the planner is notified.
+    let nominal = Scenario::new(base(21)).run();
+    let step4 = nominal.step4_obu_recv.expect("nominal run delivers");
+    let stalled = Scenario::new(ScenarioConfig {
+        fault_plan: FaultPlan::new(vec![FaultKind::HttpStall { prob: 1.0 }.during(
+            FaultWindow::new(step4, step4 + SimDuration::from_millis(50)),
+        )]),
+        ..base(21)
+    })
+    .run();
+    assert!(stalled.completed(), "{stalled:?}");
+    assert_eq!(stalled.step4_obu_recv, nominal.step4_obu_recv);
+    let stalls = stalled.fault.http_stalls;
+    assert!((1..=2).contains(&stalls), "{stalls} stalls");
+    // delay = timeout + backoff per stalled attempt: 30 ms after one
+    // stall, 70 ms after two (20+10+20+20). The actuation shift equals
+    // the retry delay up to the ECU's own sub-millisecond issue jitter
+    // (the 30 ms displacement interleaves different timing-stream draws
+    // into the issue latency).
+    let expected = SimDuration::from_millis(if stalls == 1 { 30 } else { 70 });
+    let delta = stalled
+        .step5_actuation
+        .unwrap()
+        .saturating_duration_since(nominal.step5_actuation.unwrap());
+    let jitter_ns = delta.as_nanos().abs_diff(expected.as_nanos());
+    assert!(
+        jitter_ns < 1_000_000,
+        "actuation shifted by {delta:?}, retry schedule says {expected:?}"
+    );
+    assert_eq!(stalled.fault.http_giveups, 0);
+}
+
+#[test]
+fn persistent_http_stall_exhausts_retries_and_never_actuates() {
+    let record = Scenario::new(ScenarioConfig {
+        fault_plan: FaultPlan::new(vec![
+            FaultKind::HttpStall { prob: 1.0 }.during(FaultWindow::always())
+        ]),
+        ..base(22)
+    })
+    .run();
+    assert!(record.denm_delivered, "DENM still reaches the OBU");
+    assert!(record.fault.http_giveups > 0, "{record:?}");
+    assert!(record.step5_actuation.is_none(), "{record:?}");
+    // Without a watchdog the un-notified vehicle drives on and overruns.
+    assert!(record.fault.overran_camera);
+}
+
+fn obu_station(seed: u64) -> ItsStation {
+    let mut rng = SimRng::seed_from(seed).fork("clocks");
+    let clock = NodeClock::sample(&NtpModel::default(), &mut rng, 0);
+    let mut obu = ItsStation::new(
+        StationConfig::obu(its_messages::common::StationId::new(7).expect("static id")),
+        clock,
+    );
+    obu.set_motion(1.5, 270.0);
+    obu
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_fault_plan_is_bitwise_identical_across_executors(plan_seed in 0u64..1_000_000) {
+        let plan = FaultPlan::sample(
+            &mut SimRng::seed_from(plan_seed).fork("plan"),
+            SimDuration::from_secs(5),
+        );
+        let spec = CampaignSpec::new(
+            ScenarioConfig {
+                fault_plan: plan,
+                watchdog: Some(WatchdogConfig::default()),
+                ..base(9000 + plan_seed)
+            },
+            3,
+        );
+        let serial = Serial.execute(&spec);
+        let threaded = Runner::new(8).execute(&spec);
+        prop_assert_eq!(serial.len(), threaded.len());
+        for (i, (a, b)) in serial.iter().zip(&threaded).enumerate() {
+            prop_assert_eq!(a, b, "run {} diverged across executors", i);
+            // Bitwise identity through the versioned wire codec too.
+            prop_assert_eq!(a.encode(), b.encode(), "run {} frames differ", i);
+        }
+    }
+
+    #[test]
+    fn injected_corruption_never_panics_any_decoder(
+        seed in any::<u64>(),
+        per_byte_prob in 0.01f64..1.0,
+    ) {
+        // Real frames off the real stack: a CAM SHB packet and a DENM.
+        let mut obu = obu_station(seed);
+        let cam_frame = obu
+            .heartbeat_cam(SimTime::from_millis(1))
+            .expect("valid CAM")
+            .to_bytes();
+        let wall = obu.wall(SimTime::from_millis(2));
+        let (lat, lon) = openc2x::node::lab_to_geo((41.178, -8.608), phy80211p::Position2D::new(0.0, 0.0));
+        obu.trigger_denm(
+            SimTime::from_millis(2),
+            facilities::den::DenRequest::one_shot(
+                wall,
+                its_messages::common::ReferencePosition::from_degrees(lat, lon),
+                its_messages::cause_codes::CauseCode::CollisionRisk(
+                    its_messages::cause_codes::CollisionRiskSubCause::CrossingCollisionRisk,
+                ),
+            ),
+        );
+        let denm_frame = obu
+            .poll_denm(SimTime::from_millis(2))
+            .expect("valid DENM")
+            .pop()
+            .expect("one DENM due")
+            .to_bytes();
+
+        let plan = FaultPlan::new(vec![
+            FaultKind::BitCorruption { per_byte_prob }.during(FaultWindow::always()),
+        ]);
+        let mut injector = FaultInjector::new(plan, SimRng::seed_from(seed).fork("faults"));
+        for frame in [cam_frame, denm_frame] {
+            let Some(corrupted) = injector.corrupt_frame(SimTime::ZERO, &frame) else {
+                continue;
+            };
+            // The injected-corruption path must drive the real decode
+            // chain: GeoNetworking first, then the facilities payloads.
+            // Any Ok/Err outcome is fine; panics are not.
+            if let Ok(packet) = geonet::GnPacket::from_bytes(&corrupted) {
+                let _ = its_messages::cam::Cam::from_bytes(&packet.payload);
+                let _ = its_messages::denm::Denm::from_bytes(&packet.payload);
+            }
+        }
+        prop_assert!(injector.stats().frames_corrupted <= 2);
+    }
+}

@@ -1,9 +1,9 @@
 //! Tier-1 regression test for the multi-process shard executor
-//! (DESIGN.md §10): table2 and table3 produce **byte-identical** output
-//! across serial execution, an 8-thread in-process runner, a 1-worker
-//! shard, and a 4-worker shard — and stay identical when workers are
-//! killed mid-protocol and the coordinator recovers their chunks
-//! in-process.
+//! (DESIGN.md §10): table2, table3 and the fault-sweep campaign
+//! (DESIGN.md §11) produce **byte-identical** output across serial
+//! execution, an 8-thread in-process runner, and 1/2/4-worker shards —
+//! and stay identical when workers are killed mid-protocol or hang
+//! until the coordinator's result timeout reaps them.
 //!
 //! `harness = false`: the coordinator re-execs this very binary as its
 //! workers, so `main` must dispatch `--shard-worker` before anything
@@ -11,9 +11,10 @@
 
 use its_testbed::campaign::CampaignSpec;
 use its_testbed::experiments::{table2, table3};
+use its_testbed::faultsweep::{fault_sweep, fault_sweep_specs};
 use its_testbed::scenario::ScenarioConfig;
 use its_testbed::Runner;
-use shard::{CampaignRegistry, ShardExecutor, KILL_ENV};
+use shard::{CampaignRegistry, ShardExecutor, HANG_ENV, KILL_ENV};
 use std::time::Duration;
 
 /// Runs per campaign: enough that 4 workers each get a multi-run chunk.
@@ -37,10 +38,26 @@ fn table3_grid() -> Vec<CampaignSpec> {
     vec![CampaignSpec::with_seed_offset(base(), 1000, RUNS)]
 }
 
+/// Seeds per fault-sweep cell: the grid is 18 cells, so 2 seeds give 36
+/// flat jobs — enough for every worker count here to get real chunks.
+const FS_RUNS: usize = 2;
+
+fn fs_base() -> ScenarioConfig {
+    ScenarioConfig {
+        seed: 6000,
+        ..ScenarioConfig::default()
+    }
+}
+
+fn faultsweep_grid() -> Vec<CampaignSpec> {
+    fault_sweep_specs(&fs_base(), FS_RUNS)
+}
+
 fn registry() -> CampaignRegistry {
     CampaignRegistry::new()
         .register("table2", table2_grid)
         .register("table3", table3_grid)
+        .register("faultsweep", faultsweep_grid)
 }
 
 fn sharded(workers: usize, campaign: &str) -> ShardExecutor {
@@ -143,6 +160,48 @@ fn main() {
         &mut failures,
     );
     std::env::remove_var(KILL_ENV);
+
+    // Hang injection: worker 1 of 4 reads its assignment and then never
+    // writes a byte. The coordinator's result timeout must reap it,
+    // count the chunk as timed out, re-run it in-process, and still
+    // merge to the exact serial bytes.
+    std::env::set_var(HANG_ENV, "1");
+    let exec = sharded(4, "table2").with_timeout(Duration::from_secs(5));
+    check(
+        "table2: 4-worker shard with hung worker 1 matches serial",
+        table2(&exec, &base(), RUNS).render() == t2_serial,
+        &mut failures,
+    );
+    check(
+        "table2: hang injection tripped the worker timeout",
+        exec.timed_out_chunks() == 1 && exec.fallback_chunks() == 1,
+        &mut failures,
+    );
+    std::env::remove_var(HANG_ENV);
+
+    // Fault-sweep campaign (DESIGN.md §11): the 18-cell fault grid with
+    // the watchdog enabled must aggregate to byte-identical tables on
+    // every executor — the acceptance bar for the fault-injection plane.
+    let fs_serial = fault_sweep(&its_testbed::Serial, &fs_base(), FS_RUNS);
+    check(
+        "faultsweep: 8-thread runner matches serial",
+        fault_sweep(&Runner::new(8), &fs_base(), FS_RUNS) == fs_serial,
+        &mut failures,
+    );
+    for workers in [2usize, 4] {
+        let exec = sharded(workers, "faultsweep");
+        let sharded_sweep = fault_sweep(&exec, &fs_base(), FS_RUNS);
+        check(
+            &format!("faultsweep: {workers}-worker shard matches serial"),
+            sharded_sweep == fs_serial && sharded_sweep.fingerprint() == fs_serial.fingerprint(),
+            &mut failures,
+        );
+        check(
+            &format!("faultsweep: {workers}-worker shard took no fallback"),
+            exec.fallback_chunks() == 0,
+            &mut failures,
+        );
+    }
 
     if failures > 0 {
         eprintln!("shard_determinism: {failures} check(s) failed");

@@ -184,13 +184,13 @@ impl IntersectionScenario {
         let ecu_clock = NodeClock::sample(&config.ntp, &mut rng_clocks, 0);
 
         let mut rsu = ItsStation::new(
-            StationConfig::rsu(StationId::new(15).expect("static id")),
+            StationConfig::rsu(StationId::new(15).expect("static id")), // detlint:allow(S3) static id 15 is always in the station-id range
             rsu_clock,
         );
         // The RSU hangs over the corner with LoS down both legs.
         rsu.set_position(Position2D::new(-1.0, -1.0));
         let mut obu = ItsStation::new(
-            StationConfig::obu(StationId::new(7).expect("static id")),
+            StationConfig::obu(StationId::new(7).expect("static id")), // detlint:allow(S3) static id 7 is always in the station-id range
             obu_clock,
         );
         obu.set_position(Position2D::new(config.protagonist_start_m, 0.0));

@@ -381,12 +381,12 @@ impl Scenario {
         let ecu_clock = NodeClock::sample(&config.ntp, &mut rng_clocks, 0);
 
         let mut rsu = ItsStation::new(
-            StationConfig::rsu(StationId::new(15).expect("static id")),
+            StationConfig::rsu(StationId::new(15).expect("static id")), // detlint:allow(S3) static id 15 is always in the station-id range
             rsu_clock,
         );
         rsu.set_position(config.rsu_position);
         let mut obu = ItsStation::new(
-            StationConfig::obu(StationId::new(7).expect("static id")),
+            StationConfig::obu(StationId::new(7).expect("static id")), // detlint:allow(S3) static id 7 is always in the station-id range
             obu_clock,
         );
         obu.set_position(Position2D::new(config.start_distance_m, 0.0));
@@ -761,7 +761,7 @@ impl Scenario {
         let wall = its_messages::common::TimestampIts::new(
             self.edge_clock.wall_millis(now) & ((1 << 42) - 1),
         )
-        .expect("edge wall clock in range");
+        .expect("edge wall clock in range"); // detlint:allow(S3) masked to 42 bits on the line above, always in range
         let decision = match self.config.hazard_rule {
             HazardRule::ActionPoint => {
                 self.hazard
@@ -926,7 +926,7 @@ impl Scenario {
                     }
                 }
                 DenmLink::Cellular(_) => {
-                    let link = self.cellular.as_ref().expect("cellular link configured");
+                    let link = self.cellular.as_ref().expect("cellular link configured"); // detlint:allow(S3) handoff events are only scheduled when a cellular link exists
                     let outcome = link.send(now, &mut self.rng_timing);
                     if outcome.delivered {
                         queue.schedule_at(

@@ -1,0 +1,20 @@
+//! detlint fixture: R1 (duplicate fork label) must fire exactly once.
+//!
+//! This file is test data for `tests/fixtures.rs`, not compiled code;
+//! the `fixtures` directory is excluded from workspace scans.
+
+fn build_streams(root: &SimRng) {
+    let mac = root.fork("mac");
+    // A distinct label is fine.
+    let channel = root.fork("channel");
+    // R1: second fork of "mac" in the same function — stream collision.
+    let clash = root.fork("mac");
+    drive(mac, channel, clash);
+}
+
+fn another_fn(root: &SimRng) {
+    // Re-using a label in a *different* function is legal: the parent
+    // stream differs.
+    let mac = root.fork("mac");
+    drive_one(mac);
+}

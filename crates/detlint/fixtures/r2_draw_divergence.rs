@@ -1,0 +1,33 @@
+//! detlint fixture: R2 (draw-order divergence) must fire exactly once.
+//!
+//! This file is test data for `tests/fixtures.rs`, not compiled code;
+//! the `fixtures` directory is excluded from workspace scans.
+
+fn cached_fer(rng: &mut SimRng, memo: &mut Memo, key: u64) -> f64 {
+    // R2: the cache hit returns early and skips the draw below, so a
+    // warm cache shifts every later draw in the stream.
+    if let Some(v) = memo.get(&key) {
+        return *v;
+    }
+    let draw = rng.f64();
+    memo.insert(key, draw);
+    draw
+}
+
+fn balanced(rng: &mut SimRng, flip: bool) -> f64 {
+    // Both arms draw the same multiset: no finding.
+    if flip {
+        rng.f64()
+    } else {
+        rng.f64() * 0.5
+    }
+}
+
+fn error_guard(rng: &mut SimRng, n: u64) -> Result<f64, Error> {
+    // A draw-free early error return aborts the run path entirely and
+    // never desynchronises a surviving stream: no finding.
+    if n == 0 {
+        return Err(Error::Empty);
+    }
+    Ok(rng.f64())
+}

@@ -1,0 +1,20 @@
+//! detlint fixture: R3 (RNG under hash iteration) must fire exactly once.
+//!
+//! This file is test data for `tests/fixtures.rs`, not compiled code;
+//! the `fixtures` directory is excluded from workspace scans.
+
+fn jitter_links(links: &mut HashMap<u64, Link>, rng: &mut SimRng) {
+    // R3: the closure draws while iterating a hash-ordered map, so the
+    // draw order follows the process-random hasher.
+    links.values_mut().for_each(|l| l.set_jitter(rng.f64()));
+}
+
+fn jitter_ordered(links: &mut BTreeMap<u64, Link>, rng: &mut SimRng) {
+    // Key-ordered iteration is deterministic: no finding.
+    links.values_mut().for_each(|l| l.set_jitter(rng.f64()));
+}
+
+fn sum_hash(links: &HashMap<u64, Link>) -> f64 {
+    // Hash iteration without RNG involvement is D3's business, not R3's.
+    links.values().map(|l| l.jitter()).sum()
+}

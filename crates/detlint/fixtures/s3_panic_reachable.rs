@@ -1,0 +1,24 @@
+//! detlint fixture: S3 (panic reachability) must fire exactly once.
+//!
+//! This file is test data for `tests/fixtures.rs`, not compiled code;
+//! the `fixtures` directory is excluded from workspace scans. The
+//! fixture's entry point is `demo::handle`.
+
+fn handle(frame: &[u8]) {
+    dispatch(frame);
+}
+
+fn dispatch(frame: &[u8]) {
+    let _kind = decode_kind(frame);
+}
+
+fn decode_kind(frame: &[u8]) -> u8 {
+    // S3: `[]`-indexing two calls deep from the entry point — a short
+    // frame panics the hot path instead of returning a typed error.
+    frame[0]
+}
+
+fn cold_diagnostics() {
+    // Not reachable from `handle`: S3 stays quiet even on a panic!.
+    panic!("diagnostics-only path");
+}

@@ -25,6 +25,15 @@ pub struct Config {
     pub d3_crates: Vec<String>,
     /// Per-event hot-path files that must stay panic-free (S2).
     pub s2_paths: Vec<String>,
+    /// Hot-path entry points for the S3 reachability walk, written as
+    /// `crate::function` (the crate is the directory under `crates/`).
+    pub s3_entries: Vec<String>,
+    /// The wire codec module whose encoder W1 pins, relative to the
+    /// root.
+    pub w1_wire: String,
+    /// The committed schema snapshot W1 compares against, relative to
+    /// the root.
+    pub w1_schema: String,
     /// Rule IDs disabled entirely.
     pub disabled: Vec<String>,
 }
@@ -33,7 +42,9 @@ impl Default for Config {
     fn default() -> Self {
         Config {
             scan: vec!["crates".into(), "tests".into()],
-            skip: vec!["target".into()],
+            // `fixtures` holds detlint's own deliberately-violating
+            // rule fixtures; scanning them would fail the gate.
+            skip: vec!["target".into(), "fixtures".into()],
             d1_exempt: vec!["crates/sim-core/src/clock.rs".into()],
             d2_exempt: vec!["crates/sim-core/src/rng.rs".into()],
             d3_crates: vec![
@@ -46,6 +57,14 @@ impl Default for Config {
                 "perception".into(),
                 "shard".into(),
                 "faults".into(),
+                "uper".into(),
+                "its-messages".into(),
+                "openc2x".into(),
+                "runner".into(),
+                "bench".into(),
+                "detlint".into(),
+                "proptest".into(),
+                "criterion".into(),
             ],
             s2_paths: vec![
                 "crates/phy80211p/src/edca.rs".into(),
@@ -60,6 +79,30 @@ impl Default for Config {
                 "crates/uper/src/bits.rs".into(),
                 "crates/uper/src/fields.rs".into(),
             ],
+            s3_entries: vec![
+                // The event-loop dispatch target every handler runs under.
+                "core::handle".into(),
+                // EDCA / channel / DCC per-event code.
+                "phy80211p::transmit".into(),
+                "phy80211p::transmit_cached".into(),
+                "phy80211p::access_time".into(),
+                "phy80211p::draw_slots".into(),
+                "phy80211p::on_retry".into(),
+                "phy80211p::on_success".into(),
+                "phy80211p::observe_busy".into(),
+                "phy80211p::update_state".into(),
+                "phy80211p::gate".into(),
+                "phy80211p::on_transmitted".into(),
+                "phy80211p::record_busy".into(),
+                "phy80211p::cbr".into(),
+                // Codec entry points fed by untrusted bytes.
+                "geonet::from_bytes".into(),
+                "geonet::gbc_forward_decision".into(),
+                "uper::encode".into(),
+                "uper::decode".into(),
+            ],
+            w1_wire: "crates/core/src/wire.rs".into(),
+            w1_schema: "wire.schema".into(),
             disabled: Vec::new(),
         }
     }
@@ -144,6 +187,9 @@ impl Config {
                 "rules.D2.exempt" => cfg.d2_exempt = items,
                 "rules.D3.crates" => cfg.d3_crates = items,
                 "rules.S2.paths" => cfg.s2_paths = items,
+                "rules.S3.entries" => cfg.s3_entries = items,
+                "rules.W1.wire" => cfg.w1_wire = single(&key, items)?,
+                "rules.W1.schema" => cfg.w1_schema = single(&key, items)?,
                 other => {
                     return Err(ConfigError {
                         line: 0,
@@ -153,6 +199,17 @@ impl Config {
             }
         }
         Ok(cfg)
+    }
+}
+
+/// Requires a key to hold exactly one string value.
+fn single(key: &str, items: Vec<String>) -> Result<String, ConfigError> {
+    match <[String; 1]>::try_from(items) {
+        Ok([item]) => Ok(item),
+        Err(_) => Err(ConfigError {
+            line: 0,
+            message: format!("`{key}` takes a single string, not an array"),
+        }),
     }
 }
 
@@ -220,6 +277,30 @@ crates = ["sim-core"]
         assert_eq!(cfg.d3_crates, vec!["sim-core"]);
         // Untouched keys keep their defaults.
         assert_eq!(cfg.d1_exempt, Config::default().d1_exempt);
+    }
+
+    #[test]
+    fn parses_s3_and_w1_keys() {
+        let cfg = Config::parse(
+            r#"
+[rules.S3]
+entries = ["demo::handle"]
+
+[rules.W1]
+wire = "crates/demo/src/wire.rs"
+schema = "demo.schema"
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.s3_entries, vec!["demo::handle"]);
+        assert_eq!(cfg.w1_wire, "crates/demo/src/wire.rs");
+        assert_eq!(cfg.w1_schema, "demo.schema");
+    }
+
+    #[test]
+    fn w1_rejects_array_values() {
+        let err = Config::parse("[rules.W1]\nwire = [\"a\", \"b\"]\n").unwrap_err();
+        assert!(err.message.contains("single string"));
     }
 
     #[test]

@@ -35,11 +35,18 @@ pub enum TokenKind {
 }
 
 /// One token with its source location (1-based line and column).
+///
+/// For string literals (plain, byte, raw), `text` holds the literal's
+/// *content* — without quotes, hashes or prefix, escapes unprocessed —
+/// so flow rules can inspect short payloads such as `fork("label")`
+/// stream names. Char and byte-char literals keep `text` empty; their
+/// content never participates in rule matching.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Token {
     /// Token class.
     pub kind: TokenKind,
-    /// Source text of the token (empty for long literals).
+    /// Source text of the token (string content for string literals,
+    /// empty for char literals).
     pub text: String,
     /// 1-based line.
     pub line: u32,
@@ -140,9 +147,28 @@ impl Lexer {
                     self.bump();
                     self.string_literal(line, col);
                 }
+                // Byte-char literal `b'x'`: without this arm the `b`
+                // would lex as an identifier and the char literal
+                // separately, confusing ident-adjacency rules.
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.char_or_lifetime(line, col);
+                }
                 'r' | 'b' if self.raw_string_hashes().is_some() => {
                     let hashes = self.raw_string_hashes().unwrap_or(0);
                     self.raw_string_literal(hashes, line, col);
+                }
+                // Raw identifier `r#ident`: one Ident token carrying the
+                // bare name, so `r#fn` cannot masquerade as punctuation
+                // and `r#HashMap` still trips D3.
+                'r' if self.peek(1) == Some('#')
+                    && self
+                        .peek(2)
+                        .is_some_and(|c| c == '_' || c.is_alphanumeric()) =>
+                {
+                    self.bump();
+                    self.bump();
+                    self.ident(line, col);
                 }
                 '\'' => self.char_or_lifetime(line, col),
                 c if c.is_ascii_digit() => self.number(line, col),
@@ -239,16 +265,20 @@ impl Lexer {
 
     fn string_literal(&mut self, line: u32, col: u32) {
         self.bump(); // opening quote
+        let mut content = String::new();
         while let Some(c) = self.bump() {
             match c {
                 '\\' => {
-                    self.bump();
+                    content.push(c);
+                    if let Some(e) = self.bump() {
+                        content.push(e);
+                    }
                 }
                 '"' => break,
-                _ => {}
+                _ => content.push(c),
             }
         }
-        self.push(TokenKind::Literal, String::new(), line, col);
+        self.push(TokenKind::Literal, content, line, col);
     }
 
     fn raw_string_literal(&mut self, hashes: usize, line: u32, col: u32) {
@@ -257,20 +287,28 @@ impl Lexer {
             self.bump();
         }
         self.bump();
+        let mut content = String::new();
         'outer: while let Some(c) = self.bump() {
             if c == '"' {
+                let mut terminated = true;
                 for i in 0..hashes {
                     if self.peek(i) != Some('#') {
-                        continue 'outer;
+                        terminated = false;
+                        break;
                     }
                 }
-                for _ in 0..hashes {
-                    self.bump();
+                if terminated {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
                 }
-                break;
+                content.push(c);
+                continue 'outer;
             }
+            content.push(c);
         }
-        self.push(TokenKind::Literal, String::new(), line, col);
+        self.push(TokenKind::Literal, content, line, col);
     }
 
     fn char_or_lifetime(&mut self, line: u32, col: u32) {
@@ -544,5 +582,127 @@ mod tests {
         let toks = lex("a\n  bb").tokens;
         assert_eq!((toks[0].line, toks[0].col), (1, 1));
         assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    // — edge-case regressions: these constructs must not confuse rule
+    //   matching (raw strings, nested comments, lifetimes vs chars,
+    //   byte-char literals, raw identifiers) —
+
+    #[test]
+    fn string_literals_retain_content() {
+        let toks = lex(r#"rng.fork("faults");"#).tokens;
+        let lit: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .collect();
+        assert_eq!(lit.len(), 1);
+        assert_eq!(lit[0].text, "faults");
+    }
+
+    #[test]
+    fn raw_string_literals_retain_content() {
+        let toks = lex("let s = r#\"a\"b\"#;").tokens;
+        let lit: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .collect();
+        assert_eq!(lit[0].text, "a\"b");
+    }
+
+    #[test]
+    fn raw_string_with_more_hashes_than_needed_terminates_correctly() {
+        // `r##"x "# y"##` — the inner `"#` must not terminate the string.
+        let toks = lex("let s = r##\"x \"# y\"##; after").tokens;
+        assert!(toks.iter().any(|t| t.is_ident("after")));
+        let lit: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .collect();
+        assert_eq!(lit[0].text, "x \"# y");
+    }
+
+    #[test]
+    fn raw_string_content_never_matches_fork_rules() {
+        // A raw string *containing* `fork("x")` is opaque to ident rules.
+        let src = "let doc = r#\"call fork(\"dup\") then fork(\"dup\")\"#;";
+        let idents: Vec<_> = lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(idents, vec!["let", "doc"]);
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_resolve() {
+        let src = "/* 1 /* 2 /* 3 */ 2 */ 1 */ code /* trailing */ more";
+        assert_eq!(idents(src), vec!["code", "more"]);
+    }
+
+    #[test]
+    fn nested_block_comment_with_allow_annotation_still_collected() {
+        let src = "/* outer /* detlint:allow(D3) nested justification */ */\nlet x = 1;";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 1);
+        assert_eq!(lexed.allows[0].rules, vec!["D3"]);
+    }
+
+    #[test]
+    fn unterminated_block_comment_does_not_loop_or_panic() {
+        let lexed = lex("before /* never closed");
+        assert_eq!(lexed.tokens.len(), 1);
+        assert!(lexed.tokens[0].is_ident("before"));
+    }
+
+    #[test]
+    fn byte_char_literal_is_one_token_not_ident_b() {
+        let toks = lex("let x = b'a'; let y = b'\\n'; done").tokens;
+        assert!(toks.iter().any(|t| t.is_ident("done")));
+        // No stray `b` identifier from the prefix.
+        assert!(!toks.iter().any(|t| t.is_ident("b")));
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokenKind::Literal).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn lifetime_char_ambiguity_in_generics_and_matches() {
+        // `<'a>` then `'a'` then `&'static str` on one line.
+        let toks = lex("fn f<'a>(x: &'a u8) { m('a', &'static str_val); }").tokens;
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a", "static"]);
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokenKind::Literal).count(),
+            1,
+            "exactly the 'a' char literal"
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_their_bare_name() {
+        let toks = lex("let r#type = r#fn_like; use r#HashMap;").tokens;
+        assert!(toks.iter().any(|t| t.is_ident("type")));
+        assert!(toks.iter().any(|t| t.is_ident("fn_like")));
+        // `r#HashMap` must still trip ident-based rules like D3.
+        assert!(toks.iter().any(|t| t.is_ident("HashMap")));
+        assert!(!toks.iter().any(|t| t.is_ident("r")));
+    }
+
+    #[test]
+    fn char_literal_containing_quote_does_not_open_string() {
+        let toks = lex("let q = '\"'; let s = \"text\"; end").tokens;
+        assert!(toks.iter().any(|t| t.is_ident("end")));
+        let lits: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .collect();
+        assert_eq!(lits.len(), 2);
+        assert_eq!(lits[1].text, "text");
     }
 }

@@ -29,9 +29,13 @@
 #![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod config;
+pub mod flow;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
+pub mod schema;
 
 pub use config::{Config, ConfigError};
 pub use rules::Finding;
@@ -74,19 +78,147 @@ pub fn run(root: &Path, cfg: &Config) -> std::io::Result<Report> {
     }
     files.sort();
 
-    let mut report = Report::default();
+    // Lex every file exactly once; the per-file rules, the crate-level
+    // S3 walk and the W1 wire pass all share the token streams.
+    let mut scanned: Vec<(String, String, lexer::Lexed)> = Vec::new();
     for path in files {
         let source = std::fs::read_to_string(&path)?;
         let rel = rel_unix_path(root, &path);
+        let lexed = lexer::lex(&source);
+        scanned.push((rel, source, lexed));
+    }
+
+    let mut report = Report::default();
+    for (rel, source, lexed) in &scanned {
         report.files_scanned += 1;
         report.lines_scanned += source.lines().count();
         report
             .findings
-            .extend(rules::check_file(cfg, &rel, &source));
+            .extend(rules::check_file_lexed(cfg, rel, source, lexed));
     }
-    // check_file sorts within a file and files were visited in sorted
-    // order, so the report is already position-sorted per file.
+    let enabled = |rule: &str| !cfg.disabled.iter().any(|d| d == rule);
+
+    // S3 — per-crate panic reachability.
+    if enabled("S3") {
+        let mut by_crate: std::collections::BTreeMap<&str, Vec<callgraph::FileTokens<'_>>> =
+            std::collections::BTreeMap::new();
+        for (rel, source, lexed) in &scanned {
+            if let Some(krate) = callgraph::crate_of(rel) {
+                by_crate
+                    .entry(krate)
+                    .or_default()
+                    .push(callgraph::FileTokens {
+                        rel_path: rel,
+                        lexed,
+                        lines: source.lines().collect(),
+                    });
+            }
+        }
+        let mut s3 = Vec::new();
+        for (krate, crate_files) in &by_crate {
+            callgraph::check_crate(cfg, krate, crate_files, &mut s3);
+        }
+        report.findings.extend(s3.into_iter().filter(|f| {
+            !scanned
+                .iter()
+                .find(|(rel, _, _)| *rel == f.file)
+                .is_some_and(|(_, _, lexed)| rules::is_allowed(lexed, f.rule, f.line))
+        }));
+    }
+
+    // W1 — wire-schema snapshot.
+    if enabled("W1") {
+        check_wire(root, cfg, &scanned, &mut report.findings);
+    }
+
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
     Ok(report)
+}
+
+/// Compares the wire module's encoder against the committed schema
+/// snapshot. Silently a no-op when the configured wire file is not in
+/// the scanned tree (planted test fixtures have no wire codec).
+fn check_wire(
+    root: &Path,
+    cfg: &Config,
+    scanned: &[(String, String, lexer::Lexed)],
+    out: &mut Vec<Finding>,
+) {
+    let Some((rel, source, lexed)) = scanned.iter().find(|(rel, _, _)| *rel == cfg.w1_wire) else {
+        return;
+    };
+    let fn_line = |name: &str| -> u32 {
+        parse::parse_fns(&lexed.tokens)
+            .iter()
+            .find(|f| !f.in_test && f.name == name)
+            .map(|f| lexed.tokens[f.name_idx].line)
+            .unwrap_or(1)
+    };
+    let mk = |line: u32, message: String| {
+        Finding {
+        file: rel.clone(),
+        line,
+        col: 1,
+        rule: "W1",
+        message,
+        snippet: source
+            .lines()
+            .nth(line as usize - 1)
+            .map(|l| l.trim().to_owned())
+            .unwrap_or_default(),
+        hint: "the wire layout is append-only; after review, regenerate the snapshot with `detlint --update-schema`",
+    }
+    };
+    let mut raw = Vec::new();
+    match schema::extract(&lexed.tokens) {
+        Err(e) => raw.push(mk(1, e)),
+        Ok(live) => {
+            match std::fs::read_to_string(root.join(&cfg.w1_schema)) {
+                Err(_) => raw.push(mk(
+                    1,
+                    format!(
+                        "wire-schema snapshot `{}` is missing — generate and commit it with `detlint --update-schema`",
+                        cfg.w1_schema
+                    ),
+                )),
+                Ok(text) => match schema::parse_snapshot(&text) {
+                    Err(e) => raw.push(mk(1, e)),
+                    Ok(snap) => {
+                        if let Some(msg) = schema::compare(&snap, &live) {
+                            raw.push(mk(fn_line("encode"), msg));
+                        }
+                    }
+                },
+            }
+            if let Some(msg) = schema::decode_consistency(&lexed.tokens, &live) {
+                raw.push(mk(fn_line("decode_from"), msg));
+            }
+        }
+    }
+    out.extend(
+        raw.into_iter()
+            .filter(|f| !rules::is_allowed(lexed, f.rule, f.line)),
+    );
+}
+
+/// Regenerates the committed wire-schema snapshot from the live
+/// encoder — the deliberate path for landing a reviewed layout change.
+///
+/// # Errors
+///
+/// Returns a description when the wire module cannot be read, its
+/// encoder cannot be extracted, or the snapshot cannot be written.
+pub fn update_schema(root: &Path, cfg: &Config) -> Result<PathBuf, String> {
+    let wire_path = root.join(&cfg.w1_wire);
+    let source = std::fs::read_to_string(&wire_path)
+        .map_err(|e| format!("cannot read {}: {e}", wire_path.display()))?;
+    let live = schema::extract(&lexer::lex(&source).tokens)?;
+    let snap_path = root.join(&cfg.w1_schema);
+    std::fs::write(&snap_path, schema::render(&live))
+        .map_err(|e| format!("cannot write {}: {e}", snap_path.display()))?;
+    Ok(snap_path)
 }
 
 /// Recursively collects `.rs` files under `dir`, honouring `cfg.skip`.
@@ -149,6 +281,50 @@ mod tests {
         assert_eq!(report.findings[0].rule, "D1");
         assert_eq!(report.findings[0].file, "crates/demo/src/lib.rs");
         assert_eq!(report.findings[0].line, 4);
+    }
+
+    #[test]
+    fn w1_snapshot_lifecycle_via_run_and_update_schema() {
+        let dir = std::env::temp_dir().join(format!("detlint-w1test-{}", std::process::id()));
+        let src = dir.join("crates/demo/src");
+        std::fs::create_dir_all(&src).unwrap();
+        let codec = "pub const WIRE_VERSION: u8 = 2;\n\
+                     pub const MIN_WIRE_VERSION: u8 = 1;\n\
+                     impl R {\n\
+                     pub fn encode(&self) -> Vec<u8> {\n\
+                     let mut p = Vec::new();\n\
+                     p.put_u8(WIRE_VERSION);\n\
+                     put_opt_u64(&mut p, self.wall_ms);\n\
+                     put_bool(&mut p, self.delivered);\n\
+                     p\n\
+                     }\n\
+                     }\n";
+        std::fs::write(src.join("wire.rs"), codec).unwrap();
+        let mut cfg = Config::default();
+        cfg.w1_wire = "crates/demo/src/wire.rs".into();
+        cfg.w1_schema = "wire.schema".into();
+
+        // No snapshot committed yet: exactly one W1 finding.
+        let report = run(&dir, &cfg).unwrap();
+        assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+        assert_eq!(report.findings[0].rule, "W1");
+        assert!(report.findings[0].message.contains("missing"));
+
+        // --update-schema regenerates the snapshot; the tree is clean.
+        update_schema(&dir, &cfg).unwrap();
+        assert!(run(&dir, &cfg).unwrap().is_clean());
+
+        // Reordering the encoder's fields must fail the lint.
+        let swapped = codec.replace(
+            "put_opt_u64(&mut p, self.wall_ms);\nput_bool(&mut p, self.delivered);",
+            "put_bool(&mut p, self.delivered);\nput_opt_u64(&mut p, self.wall_ms);",
+        );
+        assert_ne!(swapped, codec);
+        std::fs::write(src.join("wire.rs"), swapped).unwrap();
+        let report = run(&dir, &cfg).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(!report.is_clean());
+        assert!(report.findings.iter().all(|f| f.rule == "W1"));
     }
 
     #[test]

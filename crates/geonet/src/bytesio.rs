@@ -36,7 +36,7 @@ impl<'a> ByteReader<'a> {
                 remaining: self.remaining(),
             });
         }
-        let s = &self.buf[self.pos..self.pos + n];
+        let s = &self.buf[self.pos..self.pos + n]; // detlint:allow(S3) in-bounds: the remaining() guard above returns Truncated first
         self.pos += n;
         Ok(s)
     }
@@ -49,13 +49,13 @@ impl<'a> ByteReader<'a> {
     /// Reads a big-endian `u16`.
     pub fn u16(&mut self) -> Result<u16> {
         let b = self.take(2)?;
-        Ok(u16::from_be_bytes([b[0], b[1]]))
+        Ok(u16::from_be_bytes([b[0], b[1]])) // detlint:allow(S3) in-bounds: take(2) yields exactly 2 bytes
     }
 
     /// Reads a big-endian `u32`.
     pub fn u32(&mut self) -> Result<u32> {
         let b = self.take(4)?;
-        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]])) // detlint:allow(S3) in-bounds: take(4) yields exactly 4 bytes
     }
 
     /// Reads a big-endian `i32`.
@@ -67,13 +67,14 @@ impl<'a> ByteReader<'a> {
     pub fn u64(&mut self) -> Result<u64> {
         let b = self.take(8)?;
         Ok(u64::from_be_bytes([
+            // detlint:allow(S3) in-bounds: take(8) yields exactly 8 bytes
             b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
         ]))
     }
 
     /// Consumes and returns everything left.
     pub fn rest(&mut self) -> &'a [u8] {
-        let s = &self.buf[self.pos..];
+        let s = &self.buf[self.pos..]; // detlint:allow(S3) in-bounds: pos never exceeds buf.len()
         self.pos = self.buf.len();
         s
     }

@@ -6,7 +6,7 @@
 //! semantics). No external dependencies; every byte on the socket is
 //! produced and parsed by this module.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -24,7 +24,7 @@ pub struct Request {
     /// Request path (`/request_denm`).
     pub path: String,
     /// Lower-cased header map.
-    pub headers: HashMap<String, String>,
+    pub headers: BTreeMap<String, String>,
     /// Request body.
     pub body: Vec<u8>,
 }
@@ -199,7 +199,7 @@ fn parse_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Request> 
         .next()
         .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no path"))?
         .to_owned();
-    let mut headers = HashMap::new();
+    let mut headers = BTreeMap::new();
     loop {
         let mut h = String::new();
         reader.read_line(&mut h)?;

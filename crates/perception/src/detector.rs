@@ -121,6 +121,7 @@ impl YoloModel {
 
     /// The distance estimate for a target, including the < 75 cm quirk.
     pub fn estimate_distance(&self, true_distance_m: f64, rng: &mut SimRng) -> f64 {
+        // detlint:allow(R2) the paper's <75 cm quirk; the arm is decided by deterministic sim state, identical across execution modes
         if true_distance_m < DISTANCE_QUIRK_THRESHOLD_M {
             DISTANCE_QUIRK_DEFAULT_M
         } else {

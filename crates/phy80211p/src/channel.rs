@@ -239,6 +239,7 @@ impl Channel {
         rate: DataRate,
         rng: &mut SimRng,
     ) -> TransmitOutcome {
+        // detlint:allow(R2) sigma is static channel config, constant for a whole run
         let shadow_db = if self.config.shadowing_sigma_db > 0.0 {
             rng.normal(0.0, self.config.shadowing_sigma_db)
         } else {
@@ -278,6 +279,7 @@ impl Channel {
         rng: &mut SimRng,
         cache: &mut LinkCache,
     ) -> TransmitOutcome {
+        // detlint:allow(R2) sigma is static channel config, constant for a whole run
         let shadow_db = if self.config.shadowing_sigma_db > 0.0 {
             rng.normal(0.0, self.config.shadowing_sigma_db)
         } else {

@@ -188,6 +188,7 @@ impl EdcaMac {
         rng: &mut SimRng,
     ) -> SimTime {
         let params = self.params(ac);
+        // detlint:allow(R2) modeled CSMA: the busy check reads deterministic medium state, identical across execution modes
         if !medium.is_busy(now) {
             now + params.aifs()
         } else {

@@ -137,6 +137,7 @@ impl Strategy for &str {
     type Value = String;
     fn sample(&self, rng: &mut TestRng) -> String {
         const MULTIBYTE: [char; 6] = ['é', 'ß', '→', '°', '文', '😀'];
+        // detlint:allow(R2) test-only generator; draw count is a function of the static pattern
         if let Some(rest) = self.strip_prefix("\\PC{") {
             let (bounds, tail) = rest
                 .split_once('}')

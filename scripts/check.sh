@@ -19,8 +19,15 @@ RUNNER_THREADS=1 cargo test -q
 echo "==> cargo test (RUNNER_THREADS=8)"
 RUNNER_THREADS=8 cargo test -q
 
+# The JSON report is kept as a build artifact so CI annotations and
+# local tooling can consume machine-readable findings; `set -o
+# pipefail` above preserves detlint's exit code (0 clean / 1 findings /
+# 2 config error) through the tee.
 echo "==> detlint"
 cargo run -q -p detlint
+echo "==> detlint (JSON report -> target/detlint.json)"
+mkdir -p target
+cargo run -q -p detlint -- --quiet --format json | tee target/detlint.json >/dev/null
 
 # Shard smoke: run a small campaign across 2 worker processes and diff
 # its output against the in-example serial reference — the example exits

@@ -31,6 +31,22 @@ fn workspace_has_no_detlint_findings() {
     );
 }
 
+/// The committed `detlint.toml` widens coverage; the built-in defaults
+/// must hold on their own too, so a deleted or truncated config cannot
+/// silently weaken the gate.
+#[test]
+fn workspace_is_clean_under_builtin_defaults() {
+    let report =
+        detlint::run(&workspace_root(), &detlint::Config::default()).expect("scan succeeds");
+    let rendered: Vec<String> = report.findings.iter().map(ToString::to_string).collect();
+    assert!(
+        report.is_clean(),
+        "default-config scan found {} violation(s):\n\n{}",
+        report.findings.len(),
+        rendered.join("\n\n")
+    );
+}
+
 #[test]
 fn gate_actually_detects_planted_violations() {
     // Guard against the gate rotting into a vacuous pass: plant each
@@ -54,4 +70,67 @@ fn gate_actually_detects_planted_violations() {
         assert_eq!(f.file, "crates/geonet/src/loctable.rs");
         assert!(f.line >= 1 && f.col >= 1);
     }
+}
+
+/// Same rot-guard for the v2 families: plant one violation per rule in
+/// a synthetic tree and require `run` to surface each, including the
+/// headline W1 demonstration — reordering two fields in a copy of the
+/// real `wire.rs` must fail against the committed `wire.schema`.
+#[test]
+fn gate_detects_planted_flow_graph_and_wire_violations() {
+    let root = workspace_root();
+    let dir = std::env::temp_dir().join(format!("detlint-gate-v2-{}", std::process::id()));
+    let src = dir.join("crates/core/src");
+    std::fs::create_dir_all(&src).unwrap();
+
+    // W1: the live encoder with two writes swapped, against the real
+    // committed snapshot.
+    let wire = std::fs::read_to_string(root.join("crates/core/src/wire.rs")).unwrap();
+    let a = "put_opt_time(&mut p, self.step1_crossing);";
+    let b = "put_opt_time(&mut p, self.step2_detection);";
+    let mutated = wire.replace(&format!("{a}\n        {b}"), &format!("{b}\n        {a}"));
+    assert_ne!(mutated, wire, "wire mutation must apply");
+    std::fs::write(src.join("wire.rs"), mutated).unwrap();
+    std::fs::copy(root.join("wire.schema"), dir.join("wire.schema")).unwrap();
+
+    // R1/R2/R3 and S3 (default entries include `core::handle`).
+    std::fs::write(
+        src.join("lib.rs"),
+        r#"fn seed_streams(rng: &mut SimRng) -> (SimRng, SimRng) {
+    (rng.fork("mac"), rng.fork("mac"))
+}
+fn cached_fer(rng: &mut SimRng, memo: &mut Memo, key: u64) -> f64 {
+    if let Some(v) = memo.get(&key) {
+        return *v;
+    }
+    let draw = rng.f64();
+    memo.insert(key, draw);
+    draw
+}
+fn jitter(links: &mut HashMap<u64, Link>, rng: &mut SimRng) {
+    links.values_mut().for_each(|l| l.set(rng.f64()));
+}
+fn handle(frame: &[u8]) -> u8 {
+    decode_kind(frame)
+}
+fn decode_kind(frame: &[u8]) -> u8 {
+    frame[0]
+}
+"#,
+    )
+    .unwrap();
+
+    let report = detlint::run(&dir, &detlint::Config::default()).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+
+    let rules: Vec<&str> = report.findings.iter().map(|f| f.rule).collect();
+    for rule in ["R1", "R2", "R3", "S3", "W1"] {
+        assert!(rules.contains(&rule), "missing {rule} in {rules:?}");
+    }
+    let w1 = report.findings.iter().find(|f| f.rule == "W1").unwrap();
+    assert!(
+        w1.message.contains("step1_crossing") || w1.message.contains("position 1"),
+        "W1 should name the reordered field: {}",
+        w1.message
+    );
 }

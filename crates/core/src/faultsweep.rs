@@ -196,7 +196,7 @@ impl FaultSweep {
     /// [`sim_core::Trace::digest`]): the cross-executor identity check.
     pub fn fingerprint(&self) -> u64 {
         let mut t = Trace::new();
-        t.record(SimTime::ZERO, "faultsweep", "table", self.render());
+        t.record(SimTime::ZERO, "faultsweep", "table", &self.render());
         t.digest()
     }
 

@@ -21,7 +21,7 @@ use phy80211p::edca::Medium;
 use phy80211p::ofdm::airtime;
 use phy80211p::Position2D;
 use sim_core::{
-    run, EventHandler, EventQueue, NodeClock, NtpModel, SimDuration, SimRng, SimTime, Trace,
+    run_batched, EventHandler, EventQueue, NodeClock, NtpModel, SimDuration, SimRng, SimTime, Trace,
 };
 use vehicle::dynamics::{LongitudinalModel, VehicleParams};
 use vehicle::planner::{MotionPlanner, StopPolicy};
@@ -271,7 +271,10 @@ impl IntersectionScenario {
             );
         }
         let timeout = SimTime::ZERO + self.config.timeout;
-        run(&mut self, &mut queue, timeout);
+        // Same-instant events dispatch as one batch; order is identical
+        // to the serial loop (see `sim_core::run_batched`).
+        let mut batch = Vec::with_capacity(8);
+        run_batched(&mut self, &mut queue, timeout, &mut batch);
         self.record
     }
 
@@ -290,9 +293,12 @@ impl IntersectionScenario {
         }
         if sep <= self.config.collision_distance_m && !self.record.collision {
             self.record.collision = true;
-            self.record
-                .trace
-                .record(now, "world", "collision", format!("separation {sep:.2} m"));
+            self.record.trace.record_fmt(
+                now,
+                "world",
+                "collision",
+                format_args!("separation {sep:.2} m"),
+            );
         }
 
         // Protagonist halted after a power cut?
@@ -302,11 +308,11 @@ impl IntersectionScenario {
         {
             self.record.protagonist_stopped = true;
             self.record.halt_margin_m = Some(self.protagonist_distance());
-            self.record.trace.record(
+            self.record.trace.record_fmt(
                 now,
                 "world",
                 "halt",
-                format!("margin {:.2} m", self.protagonist_distance()),
+                format_args!("margin {:.2} m", self.protagonist_distance()),
             );
         }
 
@@ -442,7 +448,7 @@ impl IntersectionScenario {
                 now,
                 "edge",
                 "no_conflict",
-                "protagonist already past the crossing".to_owned(),
+                "protagonist already past the crossing",
             );
             return;
         }
@@ -455,21 +461,21 @@ impl IntersectionScenario {
         let t_protagonist = pr_distance / pr_speed;
         let t_road_user = estimated_distance_m / self.config.road_user_speed_mps.max(0.05);
         if (t_protagonist - t_road_user).abs() > self.config.conflict_window_s {
-            self.record.trace.record(
+            self.record.trace.record_fmt(
                 now,
                 "edge",
                 "no_conflict",
-                format!("tA={t_protagonist:.2}s tB={t_road_user:.2}s"),
+                format_args!("tA={t_protagonist:.2}s tB={t_road_user:.2}s"),
             );
             return;
         }
         self.denm_triggered = true;
         self.record.denm_sent = true;
-        self.record.trace.record(
+        self.record.trace.record_fmt(
             now,
             "edge",
             "conflict",
-            format!("tA={t_protagonist:.2}s tB={t_road_user:.2}s -> DENM"),
+            format_args!("tA={t_protagonist:.2}s tB={t_road_user:.2}s -> DENM"),
         );
         // Assessment + edge→RSU HTTP POST.
         let assess = self.rng.normal(0.003, 0.001).max(0.0005);
@@ -518,7 +524,7 @@ impl IntersectionScenario {
         }
         self.record
             .trace
-            .record(now, "rsu", "denm_tx", "collision risk".to_owned());
+            .record(now, "rsu", "denm_tx", "collision risk");
     }
 
     fn on_obu_rx(&mut self, now: SimTime) {
@@ -526,7 +532,7 @@ impl IntersectionScenario {
             self.record.denm_delivered = true;
             self.record
                 .trace
-                .record(now, "obu", "denm_rx", "pending for poll".to_owned());
+                .record(now, "obu", "denm_rx", "pending for poll");
         }
         self.denm_pending = true;
     }
@@ -559,7 +565,7 @@ impl IntersectionScenario {
             let _ = self.ecu_clock.wall_millis(now);
             self.record
                 .trace
-                .record(now, "ecu", "power_cut", "emergency brake".to_owned());
+                .record(now, "ecu", "power_cut", "emergency brake");
         }
     }
 }

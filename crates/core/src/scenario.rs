@@ -24,7 +24,7 @@ use facilities::ldm::PerceivedObject;
 use faults::{FaultInjector, FaultNode, FaultPlan, FaultStats};
 use its_messages::common::{ReferencePosition, StationId};
 use openc2x::http::{poll_with_retry, RetryPolicy};
-use openc2x::node::{lab_to_geo, ItsStation, PollingModel, StationConfig};
+use openc2x::node::{lab_to_geo, FrameOutcome, ItsStation, PollingModel, StationConfig};
 use perception::camera::{GroundTruthTarget, RoadSideCamera, TargetAppearance};
 use perception::detector::{Detection, YoloModel};
 use perception::hazard::{HazardAdvertisementService, HazardConfig, HazardDecision};
@@ -35,7 +35,7 @@ use phy80211p::edca::Medium;
 use phy80211p::ofdm::airtime;
 use phy80211p::Position2D;
 use sim_core::{
-    run, EventHandler, EventQueue, NodeClock, NtpModel, SimDuration, SimRng, SimTime, Trace,
+    run_batched, EventHandler, EventQueue, NodeClock, NtpModel, SimDuration, SimRng, SimTime, Trace,
 };
 use vehicle::actuators::TeensyLink;
 use vehicle::dynamics::{BicycleState, LongitudinalModel, VehicleParams};
@@ -302,8 +302,10 @@ pub enum Event {
     },
     /// A CAM frame arrives at the RSU.
     RsuCamRx {
-        /// Shared bytes of the full GN packet.
-        packet_bytes: std::sync::Arc<[u8]>,
+        /// Wire bytes of the full GN frame. The buffer comes from the
+        /// scenario's frame pool and returns to it after delivery, so
+        /// the steady-state beacon loop allocates nothing.
+        frame: Vec<u8>,
     },
     /// The vehicle's polling script fires.
     VehiclePoll,
@@ -319,9 +321,34 @@ pub enum Event {
     RsuHeartbeat,
     /// A CAM frame arrives at the OBU (the watchdog's heartbeat path).
     ObuCamRx {
-        /// Shared bytes of the full GN packet.
-        packet_bytes: std::sync::Arc<[u8]>,
+        /// Wire bytes of the full GN frame (pooled, like `RsuCamRx`).
+        frame: Vec<u8>,
     },
+}
+
+/// Recycled per-run buffers: the event queue's slab and buckets, the
+/// batch-dispatch scratch, the CAM frame pool and the small handler
+/// scratch vectors. A campaign runs thousands of scenarios back to
+/// back on each worker thread; recycling makes every run after the
+/// first reuse the previous run's capacity instead of re-growing it.
+/// Everything here is emptied before storage and reset on reuse
+/// ([`EventQueue::reset`] restarts time and the FIFO `seq` at zero),
+/// so a recycled run is bit-for-bit identical to a fresh one.
+#[derive(Default)]
+struct RunScratch {
+    queue: EventQueue<Event>,
+    batch: Vec<Event>,
+    frames: Vec<Vec<u8>>,
+    detections: Vec<Detection>,
+    pending: Vec<std::sync::Arc<[u8]>>,
+    denm_packets: Vec<geonet::GnPacket>,
+}
+
+thread_local! {
+    /// Per-thread scratch slot — thread-local keeps campaign workers
+    /// (threads or shard processes) fully independent.
+    static RUN_SCRATCH: std::cell::RefCell<Option<RunScratch>> =
+        const { std::cell::RefCell::new(None) };
 }
 
 /// The assembled scenario state.
@@ -350,6 +377,9 @@ pub struct Scenario {
     throttle: f64,
     odometry: WheelOdometry,
     pending_denm: Vec<std::sync::Arc<[u8]>>,
+    detect_scratch: Vec<Detection>,
+    frame_pool: Vec<Vec<u8>>,
+    denm_scratch: Vec<geonet::GnPacket>,
     poll_phase: SimDuration,
     link_cache: LinkCache,
     // Fault plane.
@@ -442,6 +472,9 @@ impl Scenario {
             throttle: config.cruise_throttle,
             odometry: WheelOdometry::new(3480.0),
             pending_denm: Vec::new(),
+            detect_scratch: Vec::new(),
+            frame_pool: Vec::new(),
+            denm_scratch: Vec::new(),
             poll_phase,
             link_cache: LinkCache::new(),
             // Forking is draw-free, so carving out a dedicated fault
@@ -472,7 +505,14 @@ impl Scenario {
     /// Runs the scenario to completion (or timeout) and returns the
     /// record.
     pub fn run(mut self) -> RunRecord {
-        let mut queue: EventQueue<Event> = EventQueue::new();
+        let mut scratch = RUN_SCRATCH
+            .with(|s| s.borrow_mut().take())
+            .unwrap_or_default();
+        let mut queue = scratch.queue;
+        self.frame_pool = scratch.frames;
+        self.detect_scratch = scratch.detections;
+        self.pending_denm = scratch.pending;
+        self.denm_scratch = scratch.denm_packets;
         queue.schedule_at(SimTime::ZERO, Event::ControlTick);
         queue.schedule_at(
             self.config.camera.next_frame_completion(SimTime::ZERO),
@@ -490,8 +530,31 @@ impl Scenario {
             queue.schedule_at(SimTime::ZERO + wcfg.heartbeat_period, Event::RsuHeartbeat);
         }
         let timeout = SimTime::ZERO + self.config.timeout;
-        run(&mut self, &mut queue, timeout);
+        // Batched dispatch: same-instant events (the t=0 kickoff, the
+        // periodic control/poll coincidences) come out of the queue in
+        // one pop each; the global (time, seq) order is identical to
+        // the one-at-a-time loop. The scratch buffer is reused for the
+        // whole run, so the dispatch loop allocates once.
+        let mut batch = scratch.batch;
+        if batch.capacity() == 0 {
+            batch.reserve(8);
+        }
+        run_batched(&mut self, &mut queue, timeout, &mut batch);
         self.record.events_dispatched = queue.dispatched();
+        // Return the run's buffers to the thread's scratch slot, empty.
+        queue.reset();
+        batch.clear();
+        self.pending_denm.clear();
+        self.detect_scratch.clear();
+        scratch = RunScratch {
+            queue,
+            batch,
+            frames: std::mem::take(&mut self.frame_pool),
+            detections: std::mem::take(&mut self.detect_scratch),
+            pending: std::mem::take(&mut self.pending_denm),
+            denm_packets: std::mem::take(&mut self.denm_scratch),
+        };
+        RUN_SCRATCH.with(|s| *s.borrow_mut() = Some(scratch));
         let mut fault = self.injector.stats();
         if let Some(wd) = &self.watchdog {
             let trips = wd.trips();
@@ -561,11 +624,11 @@ impl Scenario {
             && self.camera_distance() <= self.config.action_point_m
         {
             self.record.step1_crossing = Some(now);
-            self.record.trace.record(
+            self.record.trace.record_fmt(
                 now,
                 "world",
                 "action_point",
-                format!("x={:.3}", self.pose.x),
+                format_args!("x={:.3}", self.pose.x),
             );
         }
 
@@ -577,11 +640,11 @@ impl Scenario {
             self.record.step6_halt = Some(now);
             self.record.odometer_at_halt_m = Some(self.car.distance_m());
             self.record.halt_distance_to_camera_m = Some(self.pose.x);
-            self.record.trace.record(
+            self.record.trace.record_fmt(
                 now,
                 "world",
                 "halt",
-                format!("odo={:.3}", self.car.distance_m()),
+                format_args!("odo={:.3}", self.car.distance_m()),
             );
             self.done = true;
             return;
@@ -602,11 +665,11 @@ impl Scenario {
             self.injector.stats_mut().failsafe_stop = true;
             self.record.odometer_at_halt_m = Some(self.car.distance_m());
             self.record.halt_distance_to_camera_m = Some(self.pose.x);
-            self.record.trace.record(
+            self.record.trace.record_fmt(
                 now,
                 "vehicle",
                 "failsafe_stop",
-                format!("odo={:.3}", self.car.distance_m()),
+                format_args!("odo={:.3}", self.car.distance_m()),
             );
             self.done = true;
             return;
@@ -617,9 +680,12 @@ impl Scenario {
         // run. Never evaluated on the baseline path.
         if self.fault_active() && self.pose.x <= 0.0 {
             self.injector.stats_mut().overran_camera = true;
-            self.record
-                .trace
-                .record(now, "world", "overrun", format!("x={:.3}", self.pose.x));
+            self.record.trace.record_fmt(
+                now,
+                "world",
+                "overrun",
+                format_args!("x={:.3}", self.pose.x),
+            );
             self.done = true;
             return;
         }
@@ -635,46 +701,75 @@ impl Scenario {
             .set_motion(measured_speed, 270.0 /* heading -x ≈ west */);
         let obu_down = self.injector.node_down(now, FaultNode::Obu);
         if !obu_down {
-            if let Ok(Some(cam_packet)) = self.obu.poll_cam(now) {
-                let bytes = cam_packet.to_bytes();
-                if !self.injector.radio_drop(now, FaultNode::Obu) {
-                    let start = self.obu.channel_access(
-                        now,
-                        &cam_packet,
-                        &self.medium,
-                        &mut self.rng_timing,
-                    );
-                    let at = airtime(bytes.len(), self.obu.config().data_rate);
-                    self.medium.occupy(start + at);
-                    // Congestion feedback: both radios hear the frame.
-                    self.obu.observe_channel_busy(now, at);
-                    self.rsu.observe_channel_busy(now, at);
-                    let outcome = self.channel.transmit_cached(
-                        start,
-                        self.obu.position(),
-                        self.rsu.position(),
-                        bytes.len(),
-                        self.obu.config().data_rate,
-                        &mut self.rng_channel,
-                        &mut self.link_cache,
-                    );
-                    if outcome.delivered {
-                        // Bit corruption mutates the on-air frame; the
-                        // RSU's real GeoNetworking decoder gets to
-                        // reject (or survive) the result.
-                        let packet_bytes: std::sync::Arc<[u8]> =
-                            match self.injector.corrupt_frame(now, &bytes) {
-                                Some(corrupted) => corrupted.into(),
-                                None => bytes.into(),
-                            };
-                        queue.schedule_at(outcome.arrival, Event::RsuCamRx { packet_bytes });
-                    }
-                }
+            let mut frame = self.take_frame();
+            if self.obu.poll_cam_frame(now, &mut frame).unwrap_or(false)
+                && !self.injector.radio_drop(now, FaultNode::Obu)
+            {
+                self.transmit_cam_frame(now, frame, queue);
+            } else {
+                self.recycle_frame(frame);
             }
         }
 
         if !self.done {
             queue.schedule_after(now, self.config.control_period, Event::ControlTick);
+        }
+    }
+
+    /// A cleared frame buffer from the pool (or a fresh one).
+    fn take_frame(&mut self) -> Vec<u8> {
+        self.frame_pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a frame buffer to the pool for reuse.
+    fn recycle_frame(&mut self, mut frame: Vec<u8>) {
+        frame.clear();
+        self.frame_pool.push(frame);
+    }
+
+    /// Puts an OBU CAM frame on the air: channel access, airtime,
+    /// congestion feedback, loss, corruption, and — when delivered —
+    /// the RSU's receive event. Consumes the buffer either way (an
+    /// undelivered frame goes back to the pool).
+    fn transmit_cam_frame(
+        &mut self,
+        now: SimTime,
+        mut frame: Vec<u8>,
+        queue: &mut EventQueue<Event>,
+    ) {
+        // The frame was just written by the OBU, so it parses.
+        let Ok(f) = geonet::GnFrame::parse(&frame) else {
+            self.recycle_frame(frame);
+            return;
+        };
+        let start = self
+            .obu
+            .channel_access_frame(now, &f, &self.medium, &mut self.rng_timing);
+        let at = airtime(frame.len(), self.obu.config().data_rate);
+        self.medium.occupy(start + at);
+        // Congestion feedback: both radios hear the frame.
+        self.obu.observe_channel_busy(now, at);
+        self.rsu.observe_channel_busy(now, at);
+        let outcome = self.channel.transmit_cached(
+            start,
+            self.obu.position(),
+            self.rsu.position(),
+            frame.len(),
+            self.obu.config().data_rate,
+            &mut self.rng_channel,
+            &mut self.link_cache,
+        );
+        if outcome.delivered {
+            // Bit corruption mutates the on-air frame; the RSU's real
+            // GeoNetworking decoder gets to reject (or survive) the
+            // result.
+            if let Some(corrupted) = self.injector.corrupt_frame(now, &frame) {
+                self.recycle_frame(frame);
+                frame = corrupted;
+            }
+            queue.schedule_at(outcome.arrival, Event::RsuCamRx { frame });
+        } else {
+            self.recycle_frame(frame);
         }
     }
 
@@ -699,16 +794,21 @@ impl Scenario {
                 .normal(self.config.inference_mean_s, self.config.inference_std_s)
                 .clamp(0.05, 0.249);
             let output_at = now + SimDuration::from_secs_f64(inference);
-            let detections =
-                self.config
-                    .yolo
-                    .process_frame(output_at, &[target], &mut self.rng_detector);
-            for d in detections {
+            let mut detections = std::mem::take(&mut self.detect_scratch);
+            detections.clear();
+            self.config.yolo.process_frame_into(
+                output_at,
+                &[target],
+                &mut self.rng_detector,
+                &mut detections,
+            );
+            for d in detections.drain(..) {
                 if self.injector.drop_detection(now) {
                     continue;
                 }
                 queue.schedule_at(output_at, Event::DetectionOutput(d));
             }
+            self.detect_scratch = detections;
         }
         // Detector hallucination: a phantom object independent of any
         // real target, emitted after the nominal inference latency.
@@ -717,7 +817,7 @@ impl Scenario {
                 let output_at = now + SimDuration::from_secs_f64(self.config.inference_mean_s);
                 let phantom = Detection {
                     target_id: self.next_object_id,
-                    label: "phantom".to_owned(),
+                    label: "phantom",
                     confidence,
                     estimated_distance_m: distance,
                     frame_time: output_at,
@@ -752,7 +852,7 @@ impl Scenario {
             id: detection.target_id,
             position: ReferencePosition::from_degrees(lat, lon),
             distance_m: detection.estimated_distance_m,
-            class_label: detection.label.clone(),
+            class_label: detection.label,
             confidence: detection.confidence,
         };
         self.next_object_id += 1;
@@ -795,11 +895,11 @@ impl Scenario {
             self.record.odometer_at_detection_m = Some(self.car.distance_m());
             self.record.speed_at_detection_mps = self.car.speed_mps();
             self.record.detection_distance_m = Some(detection.estimated_distance_m);
-            self.record.trace.record(
+            self.record.trace.record_fmt(
                 now,
                 "edge",
                 "detect",
-                format!(
+                format_args!(
                     "d={:.2} label={}",
                     detection.estimated_distance_m, detection.label
                 ),
@@ -854,11 +954,13 @@ impl Scenario {
         if self.injector.node_down(now, FaultNode::Rsu) {
             return;
         }
-        let packets = match self.rsu.poll_denm(now) {
-            Ok(p) => p,
-            Err(_) => return,
-        };
-        for packet in packets {
+        let mut packets = std::mem::take(&mut self.denm_scratch);
+        packets.clear();
+        if self.rsu.poll_denm_into(now, &mut packets).is_err() {
+            self.denm_scratch = packets;
+            return;
+        }
+        for packet in &packets {
             // Step 3: the RSU registers the send time (first copy only —
             // repetitions do not rewrite the measurement).
             if self.record.step3_rsu_send.is_none() {
@@ -866,11 +968,11 @@ impl Scenario {
                 self.record.step3_wall_ms =
                     Some(self.skewed_wall(self.rsu.wall(now).millis(), now, FaultNode::Rsu));
             }
-            self.record.trace.record(
+            self.record.trace.record_fmt(
                 now,
                 "rsu",
                 "denm_tx",
-                format!("{} bytes", packet.wire_size()),
+                format_args!("{} bytes", packet.wire_size()),
             );
             // Radio faults sit between the MAC and the channel model:
             // the RSU believes it sent (step 3 stands) but nothing is
@@ -880,10 +982,11 @@ impl Scenario {
             }
             match self.config.denm_link {
                 DenmLink::Its80211p => {
-                    let bytes = packet.to_bytes();
+                    let mut bytes = self.take_frame();
+                    packet.as_frame().write_to(&mut bytes);
                     let start =
                         self.rsu
-                            .channel_access(now, &packet, &self.medium, &mut self.rng_timing);
+                            .channel_access(now, packet, &self.medium, &mut self.rng_timing);
                     let at = airtime(bytes.len(), self.rsu.config().data_rate);
                     self.medium.occupy(start + at);
                     self.obu.observe_channel_busy(now, at);
@@ -924,6 +1027,7 @@ impl Scenario {
                             );
                         }
                     }
+                    self.recycle_frame(bytes);
                 }
                 DenmLink::Cellular(_) => {
                     let link = self.cellular.as_ref().expect("cellular link configured"); // detlint:allow(S3) handoff events are only scheduled when a cellular link exists
@@ -939,6 +1043,8 @@ impl Scenario {
                 }
             }
         }
+        packets.clear();
+        self.denm_scratch = packets;
         // Repetitions: poll again when the DEN service next has one due.
         if !self.done {
             if let Some(next) = self.rsu.next_denm_due() {
@@ -971,9 +1077,12 @@ impl Scenario {
             self.record.step4_wall_ms =
                 Some(self.skewed_wall(self.obu.wall(now).millis(), now, FaultNode::Obu));
             self.record.denm_delivered = true;
-            self.record
-                .trace
-                .record(now, "obu", "denm_rx", format!("{} bytes", denm_bytes.len()));
+            self.record.trace.record_fmt(
+                now,
+                "obu",
+                "denm_rx",
+                format_args!("{} bytes", denm_bytes.len()),
+            );
         }
         self.pending_denm.push(denm_bytes);
     }
@@ -1045,7 +1154,7 @@ impl Scenario {
                 Some(self.skewed_wall(self.ecu_clock.wall_millis(at), at, FaultNode::Ecu));
             self.record
                 .trace
-                .record(at, "ecu", "cut_cmd", "power cut commanded".to_owned());
+                .record(at, "ecu", "cut_cmd", "power cut commanded");
             // The physical cut lands after the Teensy/ESC path.
             let physical = self.config.teensy.sample_latency(&mut self.rng_timing);
             queue.schedule_at(at + physical, Event::PowerCutApplied);
@@ -1056,7 +1165,7 @@ impl Scenario {
         self.throttle = 0.0;
         self.record
             .trace
-            .record(now, "ecu", "power_cut", "ESC output disabled".to_owned());
+            .record(now, "ecu", "power_cut", "ESC output disabled");
     }
 
     /// The RSU's liveness beacon (only scheduled with a watchdog): a
@@ -1099,24 +1208,23 @@ impl Scenario {
             &mut self.link_cache,
         );
         if outcome.delivered {
-            let packet_bytes: std::sync::Arc<[u8]> = match self.injector.corrupt_frame(now, &bytes)
-            {
-                Some(corrupted) => corrupted.into(),
-                None => bytes.into(),
+            let frame = match self.injector.corrupt_frame(now, &bytes) {
+                Some(corrupted) => corrupted,
+                None => bytes,
             };
-            queue.schedule_at(outcome.arrival, Event::ObuCamRx { packet_bytes });
+            queue.schedule_at(outcome.arrival, Event::ObuCamRx { frame });
         }
     }
 
-    fn on_obu_cam_rx(&mut self, now: SimTime, packet_bytes: std::sync::Arc<[u8]>) {
+    fn on_obu_cam_rx(&mut self, now: SimTime, frame: Vec<u8>) {
         if self.injector.node_down(now, FaultNode::Obu) {
+            self.recycle_frame(frame);
             return;
         }
-        match geonet::GnPacket::from_bytes(&packet_bytes) {
-            Ok(packet) => {
-                let inds = self.obu.on_packet(now, &packet);
+        match geonet::GnFrame::parse(&frame) {
+            Ok(f) => {
                 // Only a CAM the full stack accepted counts as liveness.
-                if !inds.is_empty() {
+                if self.obu.on_frame(now, &f) != FrameOutcome::Ignored {
                     if let Some(wd) = self.watchdog.as_mut() {
                         wd.heartbeat(now);
                     }
@@ -1124,6 +1232,7 @@ impl Scenario {
             }
             Err(_) => self.injector.note_rejected(),
         }
+        self.recycle_frame(frame);
     }
 }
 
@@ -1141,22 +1250,26 @@ impl EventHandler for Scenario {
             Event::TriggerArrives => self.on_trigger_arrives(now, queue),
             Event::RsuMacHandoff => self.on_rsu_mac_handoff(now, queue),
             Event::ObuRx { denm_bytes } => self.on_obu_rx(now, denm_bytes),
-            Event::RsuCamRx { packet_bytes } => match geonet::GnPacket::from_bytes(&packet_bytes) {
-                Ok(packet) => {
-                    if !self.injector.node_down(now, FaultNode::Rsu) {
-                        let inds = self.rsu.on_packet(now, &packet);
-                        self.record.cams_received += inds.len() as u64;
+            Event::RsuCamRx { frame } => {
+                match geonet::GnFrame::parse(&frame) {
+                    Ok(f) => {
+                        if !self.injector.node_down(now, FaultNode::Rsu)
+                            && self.rsu.on_frame(now, &f) != FrameOutcome::Ignored
+                        {
+                            self.record.cams_received += 1;
+                        }
                     }
+                    Err(_) => self.injector.note_rejected(),
                 }
-                Err(_) => self.injector.note_rejected(),
-            },
+                self.recycle_frame(frame);
+            }
             Event::VehiclePoll => self.on_vehicle_poll(now, queue),
             Event::PlannerNotified { denm_bytes } => {
                 self.on_planner_notified(now, denm_bytes, queue)
             }
             Event::PowerCutApplied => self.on_power_cut(now),
             Event::RsuHeartbeat => self.on_rsu_heartbeat(now, queue),
-            Event::ObuCamRx { packet_bytes } => self.on_obu_cam_rx(now, packet_bytes),
+            Event::ObuCamRx { frame } => self.on_obu_cam_rx(now, frame),
         }
     }
 }

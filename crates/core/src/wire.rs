@@ -278,9 +278,9 @@ impl RunRecord {
             let detail = get_str(&mut p)?;
             trace.extend([TraceEvent {
                 time,
-                node,
-                kind,
-                detail,
+                node: &node,
+                kind: &kind,
+                detail: &detail,
             }]);
         }
         // Version 1 predates the fault plane; its records decode with

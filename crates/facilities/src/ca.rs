@@ -115,7 +115,9 @@ impl CaService {
             t_gen_cam: config.t_gen_cam_max,
             since_latch: 0,
             generated: 0,
-            path: Vec::new(),
+            // The breadcrumb ring is capped at MAX_POINTS + 1 entries;
+            // sizing it up front keeps CAM generation allocation-free.
+            path: Vec::with_capacity(PathHistory::MAX_POINTS + 2),
         }
     }
 
@@ -208,7 +210,7 @@ impl CaService {
     /// Builds the path history relative to the current position (newest
     /// point first, per EN 302 637-2 Annex).
     fn path_history(&self, current: ReferencePosition, now: SimTime) -> PathHistory {
-        let mut points = Vec::new();
+        let mut history = PathHistory::default();
         let mut prev_time = now;
         for (t, pos) in self.path.iter().rev().skip(1) {
             let dlat = i64::from(pos.latitude.raw()) - i64::from(current.latitude.raw());
@@ -226,16 +228,16 @@ impl CaService {
             let Ok(delta) = DeltaReferencePosition::new(dlat, dlon, 0) else {
                 break;
             };
-            points.push(PathPoint {
+            let fitted = history.push(PathPoint {
                 delta,
                 delta_time: Some(dt_10ms),
             });
             prev_time = *t;
-            if points.len() == PathHistory::MAX_POINTS {
+            if !fitted || history.len() == PathHistory::MAX_POINTS {
                 break;
             }
         }
-        PathHistory::new(points).expect("length capped at MAX_POINTS")
+        history
     }
 }
 

@@ -201,6 +201,14 @@ impl DenService {
     /// into `referenceTime`.
     pub fn poll(&mut self, now: SimTime, wall: TimestampIts) -> Vec<Denm> {
         let mut out = Vec::new();
+        self.poll_into(now, wall, &mut out);
+        out
+    }
+
+    /// [`poll`](Self::poll) into a caller-provided buffer, appending the
+    /// due DENMs. Lets a per-event hot path reuse one buffer across
+    /// polls instead of allocating a fresh `Vec` each time.
+    pub fn poll_into(&mut self, now: SimTime, wall: TimestampIts, out: &mut Vec<Denm>) {
         for ev in &mut self.events {
             let Some(next_tx) = ev.next_tx else { continue };
             if next_tx > now {
@@ -232,7 +240,6 @@ impl DenService {
                 None => None,
             };
         }
-        out
     }
 
     /// The next instant any transmission is due, for efficient scheduling.

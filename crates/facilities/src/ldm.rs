@@ -27,7 +27,7 @@ pub struct PerceivedObject {
     /// Estimated distance from the sensor, metres.
     pub distance_m: f64,
     /// Classifier label (e.g. `"stop sign"`, `"motorbike"`).
-    pub class_label: String,
+    pub class_label: &'static str,
     /// Classifier confidence `[0, 1]`.
     pub confidence: f64,
 }
@@ -288,7 +288,7 @@ mod tests {
                 id: 1,
                 position: ReferencePosition::from_degrees(41.178, -8.608),
                 distance_m: 1.45,
-                class_label: "stop sign".to_owned(),
+                class_label: "stop sign",
                 confidence: 0.93,
             },
         );
@@ -322,7 +322,7 @@ mod tests {
                 id: 9,
                 position: ReferencePosition::from_degrees(41.17802, -8.608),
                 distance_m: 1.5,
-                class_label: "stop sign".to_owned(),
+                class_label: "stop sign",
                 confidence: 0.9,
             },
         );

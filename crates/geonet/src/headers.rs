@@ -295,6 +295,93 @@ impl GnPacket {
 
     /// Total wire size of this packet in bytes.
     pub fn wire_size(&self) -> usize {
+        self.as_frame().wire_size()
+    }
+
+    /// Serialises the packet to wire bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_size());
+        self.as_frame().write_to(&mut out);
+        out
+    }
+
+    /// Parses a packet from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation, bad version, unknown header type,
+    /// or a payload length that disagrees with the buffer.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        Ok(GnFrame::parse(bytes)?.to_packet())
+    }
+
+    /// This packet viewed as a borrowed [`GnFrame`].
+    pub fn as_frame(&self) -> GnFrame<'_> {
+        GnFrame {
+            basic: self.basic,
+            common: self.common,
+            extended: self.extended,
+            btp: self.btp,
+            payload: &self.payload,
+        }
+    }
+
+    /// Whether a receiver at the given position (degrees) is addressed by
+    /// this packet: always for SHB, area membership for GBC.
+    pub fn addresses_position(&self, lat_deg: f64, lon_deg: f64) -> bool {
+        self.as_frame().addresses_position(lat_deg, lon_deg)
+    }
+}
+
+/// A GeoNetworking frame whose payload is borrowed wire bytes — the
+/// allocation-free counterpart of [`GnPacket`].
+///
+/// The owned packet exists so a message outlives the buffer it arrived
+/// in (repetition queues, LDM storage); the hot TX/RX paths never need
+/// that, so they parse and serialise frames against caller-owned
+/// buffers instead and allocate nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GnFrame<'a> {
+    /// Basic header.
+    pub basic: BasicHeader,
+    /// Common header.
+    pub common: CommonHeader,
+    /// SHB or GBC extended header.
+    pub extended: ExtendedHeader,
+    /// BTP-B transport header.
+    pub btp: BtpB,
+    /// Facilities-layer payload (UPER-encoded CAM or DENM).
+    pub payload: &'a [u8],
+}
+
+impl<'a> GnFrame<'a> {
+    /// Builds a single-hop broadcast frame (CAM transport) over a
+    /// borrowed payload. Same header policy as [`GnPacket::single_hop`].
+    pub fn single_hop(
+        source: LongPositionVector,
+        traffic_class: TrafficClass,
+        port: BtpPort,
+        payload: &'a [u8],
+    ) -> Self {
+        Self {
+            basic: BasicHeader {
+                version: GN_VERSION,
+                lifetime: Lifetime::from_secs_f64(1.0),
+                remaining_hop_limit: 1,
+            },
+            common: CommonHeader {
+                traffic_class,
+                payload_length: (payload.len() + BtpB::WIRE_SIZE) as u16,
+                max_hop_limit: 1,
+            },
+            extended: ExtendedHeader::SingleHop(SingleHopBroadcast { source }),
+            btp: BtpB::new(port),
+            payload,
+        }
+    }
+
+    /// Total wire size of this frame in bytes.
+    pub fn wire_size(&self) -> usize {
         let ext = match self.extended {
             ExtendedHeader::SingleHop(_) => LongPositionVector::WIRE_SIZE,
             ExtendedHeader::GeoBroadcast(_) => {
@@ -308,35 +395,34 @@ impl GnPacket {
             + self.payload.len()
     }
 
-    /// Serialises the packet to wire bytes.
-    pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.wire_size());
-        self.basic.write(&mut out);
+    /// Appends the frame's wire bytes to `out`.
+    pub fn write_to(&self, out: &mut Vec<u8>) {
+        out.reserve(self.wire_size());
+        self.basic.write(out);
         let header_type = match self.extended {
             ExtendedHeader::SingleHop(_) => HT_SHB,
             ExtendedHeader::GeoBroadcast(_) => HT_GBC_CIRCLE,
         };
-        self.common.write(&mut out, header_type);
+        self.common.write(out, header_type);
         match &self.extended {
-            ExtendedHeader::SingleHop(shb) => shb.source.write(&mut out),
+            ExtendedHeader::SingleHop(shb) => shb.source.write(out),
             ExtendedHeader::GeoBroadcast(gbc) => {
                 out.put_u16(gbc.sequence_number);
-                gbc.source.write(&mut out);
-                gbc.area.write(&mut out);
+                gbc.source.write(out);
+                gbc.area.write(out);
             }
         }
-        self.btp.write(&mut out);
-        out.extend_from_slice(&self.payload);
-        out
+        self.btp.write(out);
+        out.extend_from_slice(self.payload);
     }
 
-    /// Parses a packet from wire bytes.
+    /// Parses a frame from wire bytes, borrowing the payload.
     ///
     /// # Errors
     ///
     /// Returns an error on truncation, bad version, unknown header type,
     /// or a payload length that disagrees with the buffer.
-    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+    pub fn parse(bytes: &'a [u8]) -> Result<Self> {
         let mut r = ByteReader::new(bytes);
         let basic = BasicHeader::read(&mut r)?;
         let (common, header_type) = CommonHeader::read(&mut r)?;
@@ -357,7 +443,7 @@ impl GnPacket {
             other => return Err(GeonetError::UnknownHeaderType(other)),
         };
         let btp = BtpB::read(&mut r)?;
-        let payload: std::sync::Arc<[u8]> = std::sync::Arc::from(r.rest());
+        let payload = r.rest();
         let declared = common.payload_length as usize;
         let actual = payload.len() + BtpB::WIRE_SIZE;
         if declared != actual {
@@ -372,8 +458,20 @@ impl GnPacket {
         })
     }
 
+    /// Copies this frame into an owned [`GnPacket`] (allocates the
+    /// payload `Arc`).
+    pub fn to_packet(&self) -> GnPacket {
+        GnPacket {
+            basic: self.basic,
+            common: self.common,
+            extended: self.extended,
+            btp: self.btp,
+            payload: std::sync::Arc::from(self.payload),
+        }
+    }
+
     /// Whether a receiver at the given position (degrees) is addressed by
-    /// this packet: always for SHB, area membership for GBC.
+    /// this frame: always for SHB, area membership for GBC.
     pub fn addresses_position(&self, lat_deg: f64, lon_deg: f64) -> bool {
         match &self.extended {
             ExtendedHeader::SingleHop(_) => true,

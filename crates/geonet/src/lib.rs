@@ -63,7 +63,7 @@ mod position;
 
 pub use area::GeoArea;
 pub use error::GeonetError;
-pub use headers::GnPacket;
+pub use headers::{GnFrame, GnPacket};
 pub use position::{GnAddress, LongPositionVector};
 
 /// Convenience alias for results produced by this crate.

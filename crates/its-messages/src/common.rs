@@ -6,6 +6,7 @@
 //! never carry an out-of-range field.
 
 use crate::enum_err;
+use std::fmt;
 use uper::{BitReader, BitWriter, Codec, UperError};
 
 /// `StationID ::= INTEGER (0..4294967295)` — unique ITS station identifier.
@@ -631,9 +632,46 @@ impl Codec for PathPoint {
 }
 
 /// `PathHistory ::= SEQUENCE (SIZE(0..40)) OF PathPoint`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+///
+/// Stored inline as a fixed-capacity array: the ASN.1 size cap is 40,
+/// so the points live in the message itself and encoding or decoding a
+/// path history never allocates (low-frequency CAM containers are on
+/// the scenario's per-event hot path).
+#[derive(Clone)]
 pub struct PathHistory {
-    points: Vec<PathPoint>,
+    points: [PathPoint; Self::MAX_POINTS],
+    len: u8,
+}
+
+impl Default for PathHistory {
+    fn default() -> Self {
+        Self {
+            points: [PathPoint::default(); Self::MAX_POINTS],
+            len: 0,
+        }
+    }
+}
+
+impl fmt::Debug for PathHistory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PathHistory")
+            .field("points", &self.points())
+            .finish()
+    }
+}
+
+impl PartialEq for PathHistory {
+    fn eq(&self, other: &Self) -> bool {
+        self.points() == other.points()
+    }
+}
+
+impl Eq for PathHistory {}
+
+impl std::hash::Hash for PathHistory {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.points().hash(state);
+    }
 }
 
 impl PathHistory {
@@ -647,43 +685,71 @@ impl PathHistory {
     /// Returns [`UperError::LengthTooLarge`] if more than
     /// [`Self::MAX_POINTS`] points are supplied.
     pub fn new(points: Vec<PathPoint>) -> uper::Result<Self> {
+        Self::from_points(&points)
+    }
+
+    /// Creates a path history by copying a slice of points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UperError::LengthTooLarge`] if more than
+    /// [`Self::MAX_POINTS`] points are supplied.
+    pub fn from_points(points: &[PathPoint]) -> uper::Result<Self> {
         if points.len() > Self::MAX_POINTS {
             return Err(UperError::LengthTooLarge(points.len()));
         }
-        Ok(Self { points })
+        let mut h = Self::default();
+        for (slot, p) in h.points.iter_mut().zip(points) {
+            *slot = *p;
+        }
+        h.len = points.len() as u8;
+        Ok(h)
+    }
+
+    /// Appends a point; returns `false` (unchanged) once full.
+    pub fn push(&mut self, point: PathPoint) -> bool {
+        match self.points.get_mut(usize::from(self.len)) {
+            Some(slot) => {
+                *slot = point;
+                self.len += 1;
+                true
+            }
+            None => false,
+        }
     }
 
     /// The points of this history, oldest first.
     pub fn points(&self) -> &[PathPoint] {
-        &self.points
+        self.points.get(..usize::from(self.len)).unwrap_or(&[])
     }
 
     /// Number of points.
     pub fn len(&self) -> usize {
-        self.points.len()
+        usize::from(self.len)
     }
 
     /// Whether the history is empty.
     pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
+        self.len == 0
     }
 }
 
 impl Codec for PathHistory {
     fn encode(&self, w: &mut BitWriter) -> uper::Result<()> {
-        w.write_constrained_u64(self.points.len() as u64, 0, Self::MAX_POINTS as u64)?;
-        for p in &self.points {
+        w.write_constrained_u64(u64::from(self.len), 0, Self::MAX_POINTS as u64)?;
+        for p in self.points() {
             p.encode(w)?;
         }
         Ok(())
     }
     fn decode(r: &mut BitReader<'_>) -> uper::Result<Self> {
         let len = r.read_constrained_u64(0, Self::MAX_POINTS as u64)? as usize;
-        let mut points = Vec::with_capacity(len);
-        for _ in 0..len {
-            points.push(PathPoint::decode(r)?);
+        let mut h = Self::default();
+        for slot in h.points.iter_mut().take(len) {
+            *slot = PathPoint::decode(r)?;
         }
-        Ok(Self { points })
+        h.len = len as u8;
+        Ok(h)
     }
 }
 

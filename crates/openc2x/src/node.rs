@@ -13,7 +13,7 @@ use facilities::ldm::Ldm;
 use geonet::btp::BtpPort;
 use geonet::headers::{ExtendedHeader, TrafficClass};
 use geonet::loctable::LocationTable;
-use geonet::{GeoArea, GnAddress, GnPacket, LongPositionVector};
+use geonet::{GeoArea, GnAddress, GnFrame, GnPacket, LongPositionVector};
 use its_messages::cam::Cam;
 use its_messages::common::{ActionId, StationId, StationType, TimestampIts};
 use its_messages::denm::Denm;
@@ -126,6 +126,12 @@ pub struct ItsStation {
     /// CAMs/DENMs transmitted (for diagnostics).
     tx_count: u64,
     rx_count: u64,
+    /// Reusable UPER encode buffer for the frame-based TX path.
+    cam_scratch: Vec<u8>,
+    /// Reusable due-DENM list for [`ItsStation::poll_denm_into`].
+    den_scratch: Vec<Denm>,
+    /// Reusable UPER encode buffer for DENM packetisation.
+    denm_wire_scratch: Vec<u8>,
 }
 
 /// What the stack hands up to the application after parsing a packet.
@@ -135,6 +141,22 @@ pub enum StackIndication {
     CamReceived(Box<Cam>),
     /// A new (non-duplicate) DENM is delivered to the application.
     DenmReceived(Box<Denm>),
+}
+
+/// Outcome of processing one received frame ([`ItsStation::on_frame`]).
+///
+/// Unlike [`StackIndication`], a stored CAM is reported without a copy:
+/// callers that only count beacons (the common case) stay
+/// allocation-free, and the CAM itself is in the LDM.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameOutcome {
+    /// Filtered out: not addressed to us, our own echo, a GBC
+    /// duplicate, or an undecodable payload.
+    Ignored,
+    /// A CAM was stored into the LDM.
+    CamStored,
+    /// A new (non-duplicate) DENM is delivered to the application.
+    DenmDelivered(Box<Denm>),
 }
 
 impl ItsStation {
@@ -161,6 +183,9 @@ impl ItsStation {
             gbc_sequence: 0,
             tx_count: 0,
             rx_count: 0,
+            cam_scratch: Vec::new(),
+            den_scratch: Vec::new(),
+            denm_wire_scratch: Vec::new(),
         }
     }
 
@@ -300,15 +325,9 @@ impl ItsStation {
     /// Returns an encoding error if the CAM violates a constraint
     /// (cannot happen for states produced by `set_motion`).
     pub fn poll_cam(&mut self, now: SimTime) -> uper::Result<Option<GnPacket>> {
-        let state = self.station_state();
-        match self.ca.poll(now, &state) {
+        match self.cam_due(now) {
             Some(cam) => {
-                if !self.dcc.gate(now, AccessCategory::Video) {
-                    return Ok(None); // throttled by congestion control
-                }
                 let payload = cam.to_bytes()?;
-                self.tx_count += 1;
-                self.dcc.on_transmitted(now);
                 Ok(Some(GnPacket::single_hop(
                     self.position_vector(now),
                     TrafficClass::dp2(),
@@ -318,6 +337,53 @@ impl ItsStation {
             }
             None => Ok(None),
         }
+    }
+
+    /// [`poll_cam`](Self::poll_cam), serialised straight to wire bytes:
+    /// writes the full frame into `frame` (cleared first) and returns
+    /// whether a CAM went out. Encoding reuses an internal scratch
+    /// buffer, so the steady-state beacon loop allocates nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns an encoding error if the CAM violates a constraint
+    /// (cannot happen for states produced by `set_motion`).
+    pub fn poll_cam_frame(&mut self, now: SimTime, frame: &mut Vec<u8>) -> uper::Result<bool> {
+        frame.clear();
+        let Some(cam) = self.cam_due(now) else {
+            return Ok(false);
+        };
+        let mut payload = std::mem::take(&mut self.cam_scratch);
+        if payload.capacity() == 0 {
+            // One up-front reservation instead of doubling through the
+            // first CAM encode; LF-container CAMs fit comfortably.
+            payload.reserve(192);
+        }
+        let encoded = uper::encode_into(&cam, &mut payload);
+        if encoded.is_ok() {
+            GnFrame::single_hop(
+                self.position_vector(now),
+                TrafficClass::dp2(),
+                BtpPort::CAM,
+                &payload,
+            )
+            .write_to(frame);
+        }
+        self.cam_scratch = payload;
+        encoded.map(|()| true)
+    }
+
+    /// CA-service poll plus the DCC gate: the CAM to transmit now, if
+    /// one is due and congestion control lets it through.
+    fn cam_due(&mut self, now: SimTime) -> Option<Cam> {
+        let state = self.station_state();
+        let cam = self.ca.poll(now, &state)?;
+        if !self.dcc.gate(now, AccessCategory::Video) {
+            return None; // throttled by congestion control
+        }
+        self.tx_count += 1;
+        self.dcc.on_transmitted(now);
+        Some(cam)
     }
 
     /// Generates one CAM *now*, bypassing both the EN 302 637-2 trigger
@@ -366,9 +432,43 @@ impl ItsStation {
     ///
     /// Returns an encoding error if a DENM violates a constraint.
     pub fn poll_denm(&mut self, now: SimTime) -> uper::Result<Vec<GnPacket>> {
+        let mut packets = Vec::new();
+        self.poll_denm_into(now, &mut packets)?;
+        Ok(packets)
+    }
+
+    /// [`poll_denm`](Self::poll_denm) into a caller-provided buffer,
+    /// appending the due packets. The DENM list and its UPER wire bytes
+    /// go through station-owned scratch buffers, so steady-state polls
+    /// allocate only the `Arc` payload copy each packet hands out.
+    ///
+    /// # Errors
+    ///
+    /// Returns an encoding error if a DENM violates a constraint; `out`
+    /// is left cleared in that case.
+    pub fn poll_denm_into(&mut self, now: SimTime, out: &mut Vec<GnPacket>) -> uper::Result<()> {
         let wall = self.wall(now);
-        let denms = self.den.poll(now, wall);
-        let mut packets = Vec::with_capacity(denms.len());
+        let mut denms = std::mem::take(&mut self.den_scratch);
+        denms.clear();
+        self.den.poll_into(now, wall, &mut denms);
+        let mut wire = std::mem::take(&mut self.denm_wire_scratch);
+        let result = self.packetize_denms(now, &denms, &mut wire, out);
+        denms.clear();
+        self.den_scratch = denms;
+        self.denm_wire_scratch = wire;
+        if result.is_err() {
+            out.clear();
+        }
+        result
+    }
+
+    fn packetize_denms(
+        &mut self,
+        now: SimTime,
+        denms: &[Denm],
+        wire: &mut Vec<u8>,
+        out: &mut Vec<GnPacket>,
+    ) -> uper::Result<()> {
         for denm in denms {
             let (lat, lon) = {
                 let p = denm.management.event_position;
@@ -377,12 +477,16 @@ impl ItsStation {
                     p.longitude.as_degrees().unwrap_or(self.config.geo_origin.1),
                 )
             };
-            let payload = denm.to_bytes()?;
+            if wire.capacity() == 0 {
+                wire.reserve(128);
+            }
+            uper::encode_into(denm, wire)?;
+            let payload: std::sync::Arc<[u8]> = wire.as_slice().into();
             let area = GeoArea::circle(lat, lon, self.config.denm_area_radius_m);
             let seq = self.gbc_sequence;
             self.gbc_sequence = self.gbc_sequence.wrapping_add(1);
             self.tx_count += 1;
-            packets.push(GnPacket::geo_broadcast(
+            out.push(GnPacket::geo_broadcast(
                 self.position_vector(now),
                 seq,
                 area,
@@ -391,7 +495,7 @@ impl ItsStation {
                 payload,
             ));
         }
-        Ok(packets)
+        Ok(())
     }
 
     /// The EDCA access category of a packet's traffic class.
@@ -412,53 +516,81 @@ impl ItsStation {
             .access_time(now, Self::access_category(packet), medium, rng)
     }
 
+    /// [`channel_access`](Self::channel_access) for a borrowed frame.
+    pub fn channel_access_frame(
+        &self,
+        now: SimTime,
+        frame: &GnFrame<'_>,
+        medium: &phy80211p::Medium,
+        rng: &mut SimRng,
+    ) -> SimTime {
+        let ac = AccessCategory::from_dcc_profile(frame.common.traffic_class.dcc_profile);
+        self.mac.access_time(now, ac, medium, rng)
+    }
+
     /// Processes a received packet: geo-addressing check, BTP dispatch,
     /// LDM update, DENM de-duplication. Returns indications for the
     /// application layer.
     pub fn on_packet(&mut self, now: SimTime, packet: &GnPacket) -> Vec<StackIndication> {
+        match self.on_frame(now, &packet.as_frame()) {
+            FrameOutcome::Ignored => Vec::new(),
+            FrameOutcome::CamStored => match Cam::from_bytes(&packet.payload) {
+                Ok(cam) => vec![StackIndication::CamReceived(Box::new(cam))],
+                Err(_) => Vec::new(), // unreachable: CamStored implies a decodable CAM
+            },
+            FrameOutcome::DenmDelivered(denm) => vec![StackIndication::DenmReceived(denm)],
+        }
+    }
+
+    /// [`on_packet`](Self::on_packet) for a borrowed frame. The stack
+    /// duties (geo-addressing, location table, GBC dedupe, LDM update)
+    /// are identical; the returned outcome avoids re-boxing a CAM the
+    /// caller only counts, so the steady-state beacon RX path allocates
+    /// nothing beyond the LDM entry itself.
+    pub fn on_frame(&mut self, now: SimTime, frame: &GnFrame<'_>) -> FrameOutcome {
         let (lat, lon) = self.geo_position();
-        if !packet.addresses_position(lat, lon) {
-            return Vec::new();
+        if !frame.addresses_position(lat, lon) {
+            return FrameOutcome::Ignored;
         }
         // Ignore our own broadcasts echoed back.
-        if packet.extended.source().address
+        if frame.extended.source().address
             == GnAddress::new(u64::from(self.config.station_id.value()))
         {
-            return Vec::new();
+            return FrameOutcome::Ignored;
         }
         // GeoNetworking router duties: learn the neighbour's position and
         // drop GBC duplicates by (source, sequence).
-        let source = *packet.extended.source();
+        let source = *frame.extended.source();
         self.loc_table.update(source, self.wall(now).millis());
-        if let ExtendedHeader::GeoBroadcast(gbc) = &packet.extended {
+        if let ExtendedHeader::GeoBroadcast(gbc) = &frame.extended {
             if self
                 .loc_table
                 .is_duplicate(source.address, gbc.sequence_number)
             {
-                return Vec::new();
+                return FrameOutcome::Ignored;
             }
         }
         self.rx_count += 1;
-        match packet.btp.destination_port {
-            BtpPort::CAM => match Cam::from_bytes(&packet.payload) {
+        match frame.btp.destination_port {
+            BtpPort::CAM => match Cam::from_bytes(frame.payload) {
                 Ok(cam) => {
-                    self.ldm.insert_cam(now, cam.clone());
-                    vec![StackIndication::CamReceived(Box::new(cam))]
+                    self.ldm.insert_cam(now, cam);
+                    FrameOutcome::CamStored
                 }
-                Err(_) => Vec::new(),
+                Err(_) => FrameOutcome::Ignored,
             },
-            BtpPort::DENM => match Denm::from_bytes(&packet.payload) {
+            BtpPort::DENM => match Denm::from_bytes(frame.payload) {
                 Ok(denm) => {
                     if self.den.receive(&denm) {
                         self.ldm.insert_denm(now, denm.clone());
-                        vec![StackIndication::DenmReceived(Box::new(denm))]
+                        FrameOutcome::DenmDelivered(Box::new(denm))
                     } else {
-                        Vec::new()
+                        FrameOutcome::Ignored
                     }
                 }
-                Err(_) => Vec::new(),
+                Err(_) => FrameOutcome::Ignored,
             },
-            _ => Vec::new(),
+            _ => FrameOutcome::Ignored,
         }
     }
 }

@@ -24,8 +24,10 @@ use sim_core::{SimRng, SimTime};
 pub struct Detection {
     /// Ground-truth target id this detection corresponds to.
     pub target_id: u32,
-    /// Class label assigned by the detector.
-    pub label: String,
+    /// Class label assigned by the detector. The model's vocabulary is
+    /// fixed, so labels are static strings and a `Detection` is
+    /// allocation-free.
+    pub label: &'static str,
     /// Classifier confidence `[0, 1]`.
     pub confidence: f64,
     /// Estimated distance from the camera, metres (includes the 1.73 m
@@ -104,16 +106,16 @@ impl YoloModel {
     }
 
     /// Samples the class label for a detected target.
-    pub fn sample_label(&self, target: &GroundTruthTarget, rng: &mut SimRng) -> String {
+    pub fn sample_label(&self, target: &GroundTruthTarget, rng: &mut SimRng) -> &'static str {
         match target.appearance {
-            TargetAppearance::WithStopSign => "stop sign".to_owned(),
-            TargetAppearance::BareScaleVehicle => "motorbike".to_owned(),
+            TargetAppearance::WithStopSign => "stop sign",
+            TargetAppearance::BareScaleVehicle => "motorbike",
             TargetAppearance::WithBodyShell => {
                 // "identified object class oscillated between car and truck"
                 if rng.bernoulli(0.5) {
-                    "car".to_owned()
+                    "car"
                 } else {
-                    "truck".to_owned()
+                    "truck"
                 }
             }
         }
@@ -138,6 +140,20 @@ impl YoloModel {
         rng: &mut SimRng,
     ) -> Vec<Detection> {
         let mut out = Vec::new();
+        self.process_frame_into(frame_time, targets, rng, &mut out);
+        out
+    }
+
+    /// [`process_frame`](Self::process_frame) into a caller-owned buffer,
+    /// so a steady-state frame loop performs no allocation. Appends to
+    /// `out` without clearing it.
+    pub fn process_frame_into(
+        &self,
+        frame_time: SimTime,
+        targets: &[GroundTruthTarget],
+        rng: &mut SimRng,
+        out: &mut Vec<Detection>,
+    ) {
         for t in targets {
             if !rng.bernoulli(self.detection_probability(t)) {
                 continue;
@@ -156,7 +172,6 @@ impl YoloModel {
                 frame_time,
             });
         }
-        out
     }
 }
 

@@ -226,7 +226,7 @@ mod tests {
     fn detection(dist: f64, at_ms: u64) -> Detection {
         Detection {
             target_id: 1,
-            label: "stop sign".to_owned(),
+            label: "stop sign",
             confidence: 0.93,
             estimated_distance_m: dist,
             frame_time: SimTime::from_millis(at_ms),
@@ -360,7 +360,7 @@ mod tests {
             track_id: 1,
             range_m: 2.0,
             range_rate_mps: -1.5, // TTC ≈ 1.33 s
-            label: "stop sign".to_owned(),
+            label: "stop sign",
             last_update: SimTime::from_millis(500),
             hits: 5,
         };
@@ -401,7 +401,7 @@ mod tests {
             track_id: 1,
             range_m: 0.5,
             range_rate_mps: -2.0,
-            label: "stop sign".to_owned(),
+            label: "stop sign",
             last_update: SimTime::ZERO,
             hits: 1,
         };

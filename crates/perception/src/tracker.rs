@@ -22,7 +22,7 @@ pub struct Track {
     /// Filtered range rate, m/s (negative = approaching).
     pub range_rate_mps: f64,
     /// Most recent classifier label.
-    pub label: String,
+    pub label: &'static str,
     /// Last update instant.
     pub last_update: SimTime,
     /// Number of detections folded into this track.
@@ -95,6 +95,8 @@ pub struct Tracker {
     config: TrackerConfig,
     tracks: Vec<Track>,
     next_id: u32,
+    /// Reusable per-update association scratch.
+    claimed: Vec<bool>,
 }
 
 impl Default for Tracker {
@@ -110,6 +112,7 @@ impl Tracker {
             config,
             tracks: Vec::new(),
             next_id: 1,
+            claimed: Vec::new(),
         }
     }
 
@@ -131,7 +134,9 @@ impl Tracker {
     /// Folds one frame of detections into the track set.
     pub fn update(&mut self, now: SimTime, detections: &[Detection]) {
         // Predict every track to `now`.
-        let mut claimed = vec![false; detections.len()];
+        let mut claimed = std::mem::take(&mut self.claimed);
+        claimed.clear();
+        claimed.resize(detections.len(), false);
         for track in &mut self.tracks {
             let dt = now
                 .saturating_duration_since(track.last_update)
@@ -156,7 +161,7 @@ impl Tracker {
                 if dt > 1e-6 {
                     track.range_rate_mps += self.config.beta * residual / dt;
                 }
-                track.label = d.label.clone();
+                track.label = d.label;
                 track.last_update = now;
                 track.hits += 1;
             }
@@ -168,13 +173,14 @@ impl Tracker {
                     track_id: self.next_id,
                     range_m: d.estimated_distance_m,
                     range_rate_mps: 0.0,
-                    label: d.label.clone(),
+                    label: d.label,
                     last_update: now,
                     hits: 1,
                 });
                 self.next_id += 1;
             }
         }
+        self.claimed = claimed;
         // Drop coasted-out tracks.
         let max_coast = self.config.max_coast_s;
         self.tracks
@@ -189,7 +195,7 @@ mod tests {
     fn det(id: u32, range: f64, ms: u64) -> Detection {
         Detection {
             target_id: id,
-            label: "stop sign".to_owned(),
+            label: "stop sign",
             confidence: 0.9,
             estimated_distance_m: range,
             frame_time: SimTime::from_millis(ms),

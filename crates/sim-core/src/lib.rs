@@ -54,7 +54,7 @@ mod time;
 mod trace;
 
 pub use clock::{NodeClock, NtpModel};
-pub use engine::{run, run_until_idle, EventHandler, EventQueue};
+pub use engine::{run, run_batched, run_until_idle, EventHandler, EventQueue, ReferenceQueue};
 pub use rng::{RngCore, SimRng};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEvent};

@@ -35,6 +35,13 @@ impl BitWriter {
         Self::default()
     }
 
+    /// Creates a writer over a cleared, caller-owned buffer, so its
+    /// capacity is reused instead of allocating ([`crate::encode_into`]).
+    pub fn over(mut bytes: Vec<u8>) -> Self {
+        bytes.clear();
+        Self { bytes, used: 0 }
+    }
+
     /// Number of bits written so far.
     pub fn bit_len(&self) -> usize {
         if self.bytes.is_empty() {

@@ -84,6 +84,26 @@ pub fn encode<T: Codec>(value: &T) -> Result<Vec<u8>> {
     Ok(w.finish())
 }
 
+/// Encodes into a caller-owned buffer, clearing it first — the
+/// allocation-free form of [`encode`] for hot paths that reuse one
+/// scratch buffer across messages. The buffer's capacity is kept.
+///
+/// # Errors
+///
+/// Returns an error if any field violates its constraint; the buffer is
+/// left cleared in that case.
+pub fn encode_into<T: Codec>(value: &T, out: &mut Vec<u8>) -> Result<()> {
+    out.clear();
+    let mut w = BitWriter::over(std::mem::take(out));
+    let result = value.encode(&mut w);
+    *out = w.finish();
+    if let Err(e) = result {
+        out.clear();
+        return Err(e);
+    }
+    Ok(())
+}
+
 /// Decodes a value implementing [`Codec`] from a byte slice.
 ///
 /// Trailing padding bits (used to round the encoding up to a whole byte) are

@@ -18,6 +18,7 @@
 use crate::dynamics::BicycleState;
 use crate::pid::Pid;
 use sim_core::SimRng;
+use std::cell::RefCell;
 
 /// Ground-truth track: a polyline of the tape line on the floor.
 #[derive(Debug, Clone, PartialEq)]
@@ -191,11 +192,18 @@ impl CameraModel {
     }
 
     /// Renders the track as seen from `pose` into an existing frame,
-    /// reusing its pixel buffer. Produces exactly the pixels of
-    /// [`CameraModel::capture`]: the pose trig and per-column lateral
-    /// coordinates are hoisted out of the pixel loop but evaluated with
-    /// the same expressions, so every projected world point is bitwise
-    /// identical.
+    /// reusing its pixel buffer. Produces exactly the pixels of the
+    /// naive every-pixel render (pinned bitwise by
+    /// `capture_matches_reference_bitwise`): each image row is one scan
+    /// line across the ground, and a pixel can only be lit where that
+    /// line passes through a track segment's *capsule* (the segment
+    /// dilated by the line half-width). The capsule intersection — with
+    /// a margin nine orders of magnitude above f64 rounding error plus
+    /// a ±1-column guard band — selects candidate columns, and only
+    /// those get the exact `distance_to` test, evaluated with the
+    /// original expressions so every lit pixel is bitwise identical.
+    /// Typical frames test a handful of columns per row instead of all
+    /// of them.
     pub fn capture_into(&self, pose: &BicycleState, track: &Track, frame: &mut Frame) {
         frame.width = self.width;
         frame.height = self.height;
@@ -205,21 +213,120 @@ impl CameraModel {
         let sin_t = pose.theta.sin();
         let mpc = self.meters_per_col();
         let half_line = self.line_width_m / 2.0;
+        // Candidate reach: the exact test lights pixels at distance
+        // ≤ half_line; candidates are taken out to half_line + 1e-7 m,
+        // so a boundary pixel the capsule math places up to 100 nm off
+        // (f64 error here is ~1e-15 m) still gets the exact test.
+        let reach = half_line + 1e-7;
         for row in 0..self.height {
             // Row 0 = far edge.
             let ahead =
                 self.far_m - (self.far_m - self.near_m) * (row as f64 + 0.5) / self.height as f64;
-            for col in 0..self.width {
-                let lateral = -self.half_width_m + (col as f64 + 0.5) * mpc;
-                // Vehicle frame → world frame.
-                let wx = pose.x + ahead * cos_t - lateral * sin_t;
-                let wy = pose.y + ahead * sin_t + lateral * cos_t;
-                if track.distance_to(wx, wy) <= half_line {
-                    frame.pixels[row * self.width + col] = true;
+            // The row's scan line in world space: W(s) = base + s·dir
+            // with s the lateral coordinate and dir unit-length.
+            let bx = pose.x + ahead * cos_t;
+            let by = pose.y + ahead * sin_t;
+            let dir = (-sin_t, cos_t);
+            for seg in track.points.windows(2) {
+                let Some((s_lo, s_hi)) = capsule_span(seg[0], seg[1], (bx, by), dir, reach) else {
+                    continue;
+                };
+                // Lateral → column (lateral = -half_width + (col+0.5)·mpc),
+                // widened one column each way as the conservative guard.
+                let c_lo = ((s_lo + self.half_width_m) / mpc - 0.5).floor() as i64 - 1;
+                let c_hi = ((s_hi + self.half_width_m) / mpc - 0.5).ceil() as i64 + 1;
+                if c_hi < 0 || c_lo >= self.width as i64 {
+                    continue;
+                }
+                let c_lo = c_lo.max(0) as usize;
+                let c_hi = (c_hi.max(0) as usize).min(self.width - 1);
+                for col in c_lo..=c_hi {
+                    let i = row * self.width + col;
+                    if frame.pixels[i] {
+                        continue;
+                    }
+                    let lateral = -self.half_width_m + (col as f64 + 0.5) * mpc;
+                    // Vehicle frame → world frame (the reference
+                    // expressions, verbatim).
+                    let wx = pose.x + ahead * cos_t - lateral * sin_t;
+                    let wy = pose.y + ahead * sin_t + lateral * cos_t;
+                    if track.distance_to(wx, wy) <= half_line {
+                        frame.pixels[i] = true;
+                    }
                 }
             }
         }
     }
+}
+
+/// Intersects the scan line `base + s·dir` (`dir` unit-length) with the
+/// capsule of radius `r` around segment `ab`, returning the `s`-span of
+/// the intersection (a single interval — capsules are convex) or `None`
+/// when the line misses it entirely. Used only to *select candidate
+/// pixels* in [`CameraModel::capture_into`]; the margin built into `r`
+/// plus the caller's column guard band make any rounding here
+/// inconsequential for the rendered bits.
+fn capsule_span(
+    a: (f64, f64),
+    b: (f64, f64),
+    base: (f64, f64),
+    dir: (f64, f64),
+    r: f64,
+) -> Option<(f64, f64)> {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    // End discs: |base + s·dir − p|² ≤ r², i.e. s² + 2·bq·s + c ≤ 0.
+    for p in [a, b] {
+        let ex = base.0 - p.0;
+        let ey = base.1 - p.1;
+        let bq = ex * dir.0 + ey * dir.1;
+        let c = ex * ex + ey * ey - r * r;
+        let disc = bq * bq - c;
+        if disc >= 0.0 {
+            let sq = disc.sqrt();
+            lo = lo.min(-bq - sq);
+            hi = hi.max(-bq + sq);
+        }
+    }
+    // Rectangle part: |perp offset| ≤ r within the segment's extent.
+    let abx = b.0 - a.0;
+    let aby = b.1 - a.1;
+    let len = (abx * abx + aby * aby).sqrt();
+    if len > 0.0 {
+        let ux = abx / len;
+        let uy = aby / len;
+        let px = base.0 - a.0;
+        let py = base.1 - a.1;
+        // Signed perp distance and along-segment coordinate, both
+        // affine in s.
+        let constraints = [
+            (px * uy - py * ux, dir.0 * uy - dir.1 * ux, -r, r),
+            (px * ux + py * uy, dir.0 * ux + dir.1 * uy, 0.0, len),
+        ];
+        let mut rlo = f64::NEG_INFINITY;
+        let mut rhi = f64::INFINITY;
+        let mut feasible = true;
+        for (c0, dc, lim_lo, lim_hi) in constraints {
+            if dc.abs() < 1e-12 {
+                // Scan line (anti)parallel to this constraint: it either
+                // holds for every s or for none.
+                if c0 < lim_lo || c0 > lim_hi {
+                    feasible = false;
+                    break;
+                }
+            } else {
+                let s1 = (lim_lo - c0) / dc;
+                let s2 = (lim_hi - c0) / dc;
+                rlo = rlo.max(s1.min(s2));
+                rhi = rhi.min(s1.max(s2));
+            }
+        }
+        if feasible && rlo <= rhi {
+            lo = lo.min(rlo);
+            hi = hi.max(rhi);
+        }
+    }
+    (lo <= hi).then_some((lo, hi))
 }
 
 /// Extracts edge pixels: positions where the binary intensity changes
@@ -295,6 +402,9 @@ const THETA_BINS: usize = 45; // 4° steps over [0, π)
 #[derive(Debug, Clone, Default)]
 pub struct HoughScratch {
     acc: Vec<u32>,
+    /// Memoized accumulator indices, [`THETA_BINS`] per edge point
+    /// (`u32::MAX` marks an out-of-range ρ bin).
+    votes: Vec<u32>,
 }
 
 impl HoughScratch {
@@ -335,16 +445,34 @@ pub fn hough_lines_into(
         let theta = std::f64::consts::PI * tb as f64 / THETA_BINS as f64;
         *t = (theta.cos(), theta.sin());
     }
+    // Each edge point's 45 accumulator cells depend only on the point,
+    // and the sampler draws *with replacement* from a set that is
+    // usually far smaller than the sample budget — so the (ρ, θ)
+    // quantisation is memoized once per point (same expressions, same
+    // bins bitwise) and each sample reduces to 45 integer adds.
+    let memo = &mut scratch.votes;
+    memo.clear();
+    memo.reserve(edges.len() * THETA_BINS);
+    for &(row, col) in edges {
+        for (tb, &(cos_t, sin_t)) in trig.iter().enumerate() {
+            let rho = col as f64 * cos_t + row as f64 * sin_t;
+            let rb = (rho + diag).round() as usize;
+            memo.push(if rb < rho_bins {
+                // THETA_BINS·rho_bins ≈ 6.5k cells — far below u32::MAX.
+                (tb * rho_bins + rb) as u32
+            } else {
+                u32::MAX
+            });
+        }
+    }
     // Probabilistic subsampling: at most 256 points, as in the
     // progressive probabilistic Hough transform's random selection stage.
     let samples = edges.len().min(256);
     for _ in 0..samples {
-        let &(row, col) = &edges[rng.below(edges.len() as u64) as usize];
-        for (tb, &(cos_t, sin_t)) in trig.iter().enumerate() {
-            let rho = col as f64 * cos_t + row as f64 * sin_t;
-            let rb = (rho + diag).round() as usize;
-            if rb < rho_bins {
-                acc[tb * rho_bins + rb] += 1;
+        let point = rng.below(edges.len() as u64) as usize;
+        for &cell in &memo[point * THETA_BINS..(point + 1) * THETA_BINS] {
+            if cell != u32::MAX {
+                acc[cell as usize] += 1;
             }
         }
     }
@@ -364,6 +492,30 @@ pub fn hough_lines_into(
     );
     lines.sort_by_key(|l| std::cmp::Reverse(l.votes));
     lines.truncate(8);
+}
+
+/// Recycled vision-pipeline buffers: frame pixels, edge points, Hough
+/// scratch and detected lines. A scenario run constructs one
+/// [`LineFollower`]; without recycling, every run re-pays the
+/// pipeline's first-frame buffer growth (~15 allocations). Each buffer
+/// is cleared or fully overwritten before use, so recycling cannot
+/// change any output bit — the pool is a free list, not a cache.
+#[derive(Debug, Default)]
+struct VisionBuffers {
+    pixels: Vec<bool>,
+    edges: Vec<(usize, usize)>,
+    hough: HoughScratch,
+    lines: Vec<HoughLine>,
+}
+
+/// Bounded so pathological churn (many live followers dropped at once)
+/// cannot hoard memory; beyond the cap, buffers are simply freed.
+const VISION_POOL_CAP: usize = 8;
+
+thread_local! {
+    /// Per-thread free list of [`VisionBuffers`]. Thread-local keeps the
+    /// pool lock-free and keeps parallel campaign workers independent.
+    static VISION_POOL: RefCell<Vec<VisionBuffers>> = const { RefCell::new(Vec::new()) };
 }
 
 /// The full line-following controller: camera + pipeline + PID steering.
@@ -415,6 +567,9 @@ impl LineFollower {
 
     /// Creates a follower with a custom camera model.
     pub fn with_camera(camera: CameraModel) -> Self {
+        let buffers = VISION_POOL
+            .with(|p| p.borrow_mut().pop())
+            .unwrap_or_default();
         Self {
             camera,
             pid: Pid::new(2.2, 0.05, 0.35)
@@ -425,11 +580,11 @@ impl LineFollower {
             frame: Frame {
                 width: camera.width,
                 height: camera.height,
-                pixels: Vec::new(),
+                pixels: buffers.pixels,
             },
-            edges: Vec::new(),
-            hough: HoughScratch::new(),
-            lines: Vec::new(),
+            edges: buffers.edges,
+            hough: buffers.hough,
+            lines: buffers.lines,
         }
     }
 
@@ -479,6 +634,23 @@ impl LineFollower {
     pub fn hold_last(&mut self) -> f64 {
         self.lost_frames += 1;
         self.last_steer
+    }
+}
+
+impl Drop for LineFollower {
+    fn drop(&mut self) {
+        let buffers = VisionBuffers {
+            pixels: std::mem::take(&mut self.frame.pixels),
+            edges: std::mem::take(&mut self.edges),
+            hough: std::mem::take(&mut self.hough),
+            lines: std::mem::take(&mut self.lines),
+        };
+        VISION_POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < VISION_POOL_CAP {
+                pool.push(buffers);
+            }
+        });
     }
 }
 
@@ -844,7 +1016,69 @@ mod tests {
         assert_eq!(rng_a.next_u64(), rng_b.next_u64());
     }
 
+    /// The pre-optimization renderer: every pixel gets the exact
+    /// `distance_to` test. The production `capture_into` only runs that
+    /// test on capsule-selected candidate columns; this reference pins
+    /// that the candidate filter never changes a single pixel.
+    fn capture_reference(cam: &CameraModel, pose: &BicycleState, track: &Track) -> Frame {
+        let mut frame = Frame {
+            width: cam.width,
+            height: cam.height,
+            pixels: vec![false; cam.width * cam.height],
+        };
+        let cos_t = pose.theta.cos();
+        let sin_t = pose.theta.sin();
+        let mpc = cam.meters_per_col();
+        let half_line = cam.line_width_m / 2.0;
+        for row in 0..cam.height {
+            let ahead =
+                cam.far_m - (cam.far_m - cam.near_m) * (row as f64 + 0.5) / cam.height as f64;
+            for col in 0..cam.width {
+                let lateral = -cam.half_width_m + (col as f64 + 0.5) * mpc;
+                let wx = pose.x + ahead * cos_t - lateral * sin_t;
+                let wy = pose.y + ahead * sin_t + lateral * cos_t;
+                if track.distance_to(wx, wy) <= half_line {
+                    frame.pixels[row * cam.width + col] = true;
+                }
+            }
+        }
+        frame
+    }
+
+    #[test]
+    fn capture_matches_reference_bitwise() {
+        let cam = CameraModel::default();
+        for track in [Track::straight(10.0), Track::l_corner(3.0)] {
+            for i in 0..40 {
+                // Poses sweeping across the track, rotating through a
+                // full turn, including ones straddling the line edge.
+                let pose = BicycleState {
+                    x: 0.25 * f64::from(i) - 1.0,
+                    y: 0.055 * f64::from(i) - 1.0,
+                    theta: 0.17 * f64::from(i),
+                };
+                let expect = capture_reference(&cam, &pose, &track);
+                let got = cam.capture(&pose, &track);
+                assert_eq!(expect, got, "track/pose {i}");
+            }
+        }
+    }
+
     proptest! {
+        #[test]
+        fn capture_candidate_filter_is_bitwise_neutral(
+            x in -2.0f64..6.0,
+            y in -2.0f64..4.0,
+            theta in -7.0f64..7.0,
+        ) {
+            let cam = CameraModel::default();
+            let track = Track::l_corner(3.0);
+            let pose = BicycleState { x, y, theta };
+            let expect = capture_reference(&cam, &pose, &track);
+            let got = cam.capture(&pose, &track);
+            prop_assert_eq!(expect, got);
+        }
+
         #[test]
         fn track_distance_non_negative(x in -20.0f64..20.0, y in -20.0f64..20.0) {
             let track = Track::l_corner(5.0);

@@ -10,6 +10,15 @@ cargo fmt --all --check
 echo "==> cargo build --release"
 cargo build --release
 
+# Queue smoke: the calendar-queue engine against the reference heap —
+# the differential harness replays randomized schedules through both
+# and asserts identical dispatch order, plus the FIFO tie-break and
+# seq-wraparound contracts. Runs first because everything below
+# (every campaign, every determinism gate) sits on this queue.
+echo "==> queue differential smoke"
+cargo test -q -p sim-core --test queue_differential
+cargo test -q -p sim-core --test fifo_replay
+
 # The suite runs twice to prove the campaign runner's guarantee: results
 # are identical whether campaigns run serially or on 8 worker threads
 # (tests/parallel_determinism.rs additionally pins 1 vs 2 vs 8 in-process).

@@ -31,7 +31,7 @@ fn trace_event_sequences_match_exactly() {
     let a = Scenario::new(cfg.clone()).run();
     let b = Scenario::new(cfg).run();
     assert_eq!(a.trace.events().len(), b.trace.events().len());
-    for (ea, eb) in a.trace.events().iter().zip(b.trace.events()) {
+    for (ea, eb) in a.trace.events().zip(b.trace.events()) {
         assert_eq!(ea, eb);
     }
 }

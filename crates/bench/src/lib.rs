@@ -189,6 +189,193 @@ pub fn validate_campaign_json(src: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// One node-count row of the city-scale benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CityBenchRow {
+    /// Stations simulated.
+    pub nodes: usize,
+    /// Wall-clock seconds for the (culled) run.
+    pub seconds: f64,
+    /// Per-receiver channel evaluations the run performed.
+    pub events: u64,
+    /// Channel evaluations per second of wall-clock time.
+    pub events_per_sec: f64,
+    /// Wall-clock nanoseconds per channel evaluation.
+    pub ns_per_event: f64,
+    /// Heap allocations for the run (counting-allocator proxy).
+    pub allocs_per_run: f64,
+    /// In-cutoff CAM delivery ratio (model fingerprint).
+    pub cam_delivery_ratio: f64,
+    /// Mean channel busy ratio (model fingerprint).
+    pub mean_cbr: f64,
+    /// Mean DENM reception latency, ms (model fingerprint).
+    pub denm_latency_ms: f64,
+}
+
+/// The full city-scale measurement written to `BENCH_city.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CityMeasurement {
+    /// One row per node count, in sweep order.
+    pub rows: Vec<CityBenchRow>,
+    /// Wall-clock speedup of the culled channel over the exhaustive
+    /// O(N²) reference at the smallest node count.
+    pub culled_speedup: f64,
+}
+
+fn city_row_json(row: &CityBenchRow) -> String {
+    format!(
+        "  {{\n    \"nodes\": {},\n    \"seconds\": {:.6},\n    \"events\": {},\n    \"events_per_sec\": {:.1},\n    \"ns_per_event\": {:.2},\n    \"allocs_per_run\": {:.1},\n    \"cam_delivery_ratio\": {:.6},\n    \"mean_cbr\": {:.6},\n    \"denm_latency_ms\": {:.4}\n  }}",
+        row.nodes,
+        row.seconds,
+        row.events,
+        row.events_per_sec,
+        row.ns_per_event,
+        row.allocs_per_run,
+        row.cam_delivery_ratio,
+        row.mean_cbr,
+        row.denm_latency_ms
+    )
+}
+
+/// Renders the measurement as the `BENCH_city.json` document.
+pub fn city_json(m: &CityMeasurement) -> String {
+    let rows: Vec<String> = m.rows.iter().map(city_row_json).collect();
+    format!(
+        "{{\n  \"bench\": \"city_scale\",\n  \"rows\": [\n{}\n  ],\n  \"culled_speedup\": {:.3}\n}}\n",
+        rows.join(",\n"),
+        m.culled_speedup
+    )
+}
+
+/// Path of the tracked city benchmark baseline at the repository root.
+pub fn city_json_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_city.json")
+}
+
+/// Keys every valid `BENCH_city.json` must carry (with finite,
+/// non-negative numeric values).
+pub const CITY_JSON_REQUIRED_KEYS: [&str; 10] = [
+    "nodes",
+    "seconds",
+    "events",
+    "events_per_sec",
+    "ns_per_event",
+    "allocs_per_run",
+    "cam_delivery_ratio",
+    "mean_cbr",
+    "denm_latency_ms",
+    "culled_speedup",
+];
+
+/// Node counts the *tracked* baseline must cover, in order.
+pub const CITY_BASELINE_NODE_COUNTS: [usize; 3] = [100, 500, 2000];
+
+/// Largest tolerated per-event cost growth between the largest and the
+/// smallest tracked node count: the spatial grid makes per-event cost
+/// nearly flat, so N=2000 must cost at most 4× N=100 per event.
+pub const CITY_MAX_NS_PER_EVENT_RATIO: f64 = 4.0;
+
+/// Minimum tracked speedup of culled over exhaustive at N=100.
+pub const CITY_MIN_CULLED_SPEEDUP: f64 = 5.0;
+
+/// Validates the *schema* of a `BENCH_city.json` document: non-empty,
+/// brace-balanced, every required key present with finite non-negative
+/// values. Quick (`BENCH_QUICK=1`) runs produce documents that pass
+/// this but not necessarily [`validate_city_baseline`].
+///
+/// # Errors
+///
+/// Returns a description of the first problem found.
+pub fn validate_city_json(src: &str) -> Result<(), String> {
+    let trimmed = src.trim();
+    if trimmed.is_empty() {
+        return Err("document is empty".to_owned());
+    }
+    if !trimmed.starts_with('{') || !trimmed.ends_with('}') {
+        return Err("document is not a JSON object (truncated?)".to_owned());
+    }
+    let opens = trimmed.matches('{').count();
+    let closes = trimmed.matches('}').count();
+    if opens != closes {
+        return Err(format!("unbalanced braces ({opens} open, {closes} close)"));
+    }
+    let fields = json_number_fields(src);
+    for key in CITY_JSON_REQUIRED_KEYS {
+        let hits: Vec<f64> = fields
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|&(_, v)| v)
+            .collect();
+        if hits.is_empty() {
+            return Err(format!("missing numeric field {key:?}"));
+        }
+        for v in hits {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("field {key:?} has invalid value {v}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates the tracked `BENCH_city.json` baseline: the schema checks
+/// of [`validate_city_json`] plus the acceptance bars — the exact
+/// [`CITY_BASELINE_NODE_COUNTS`] rows, per-event cost at the largest
+/// count within [`CITY_MAX_NS_PER_EVENT_RATIO`]× the smallest, and a
+/// culled-over-exhaustive speedup of at least
+/// [`CITY_MIN_CULLED_SPEEDUP`]×.
+///
+/// # Errors
+///
+/// Returns a description of the first problem found.
+pub fn validate_city_baseline(src: &str) -> Result<(), String> {
+    validate_city_json(src)?;
+    let fields = json_number_fields(src);
+    let nodes: Vec<f64> = fields
+        .iter()
+        .filter(|(k, _)| k == "nodes")
+        .map(|&(_, v)| v)
+        .collect();
+    let expected: Vec<f64> = CITY_BASELINE_NODE_COUNTS
+        .iter()
+        .map(|&n| n as f64)
+        .collect();
+    if nodes != expected {
+        return Err(format!(
+            "baseline node counts {nodes:?}, expected {expected:?}"
+        ));
+    }
+    let ns_per_event: Vec<f64> = fields
+        .iter()
+        .filter(|(k, _)| k == "ns_per_event")
+        .map(|&(_, v)| v)
+        .collect();
+    match (ns_per_event.first(), ns_per_event.last()) {
+        (Some(&smallest), Some(&largest)) if smallest > 0.0 => {
+            let ratio = largest / smallest;
+            if ratio > CITY_MAX_NS_PER_EVENT_RATIO {
+                return Err(format!(
+                    "per-event cost grew {ratio:.2}× from N={} to N={} (limit {CITY_MAX_NS_PER_EVENT_RATIO}×)",
+                    CITY_BASELINE_NODE_COUNTS[0],
+                    CITY_BASELINE_NODE_COUNTS[CITY_BASELINE_NODE_COUNTS.len() - 1]
+                ));
+            }
+        }
+        _ => return Err("baseline has no usable ns_per_event rows".to_owned()),
+    }
+    let speedup = fields
+        .iter()
+        .find(|(k, _)| k == "culled_speedup")
+        .map(|&(_, v)| v)
+        .unwrap_or(0.0);
+    if speedup < CITY_MIN_CULLED_SPEEDUP {
+        return Err(format!(
+            "culled speedup {speedup:.2}× below the {CITY_MIN_CULLED_SPEEDUP}× bar"
+        ));
+    }
+    Ok(())
+}
+
 /// Formats a mean/sd/min/max line for the bench reports.
 pub fn stat_line(name: &str, xs: &[f64]) -> String {
     let n = xs.len() as f64;
@@ -271,6 +458,73 @@ mod tests {
         assert_eq!(fields[1].0, "b");
         assert!((fields[1].1 - -0.002).abs() < 1e-12);
         assert_eq!(fields[2], ("c".to_owned(), 7.0));
+    }
+
+    fn sample_city_measurement() -> CityMeasurement {
+        let row = |nodes: usize, ns: f64| CityBenchRow {
+            nodes,
+            seconds: 0.5,
+            events: 100_000,
+            events_per_sec: 200_000.0,
+            ns_per_event: ns,
+            allocs_per_run: 5_000.0,
+            cam_delivery_ratio: 0.08,
+            mean_cbr: 0.02,
+            denm_latency_ms: 0.4,
+        };
+        CityMeasurement {
+            rows: vec![row(100, 120.0), row(500, 130.0), row(2000, 150.0)],
+            culled_speedup: 9.0,
+        }
+    }
+
+    #[test]
+    fn city_json_round_trips_through_both_validators() {
+        let json = city_json(&sample_city_measurement());
+        assert!(validate_city_json(&json).is_ok(), "{json}");
+        assert!(validate_city_baseline(&json).is_ok(), "{json}");
+        let nodes: Vec<f64> = json_number_fields(&json)
+            .into_iter()
+            .filter(|(k, _)| k == "nodes")
+            .map(|(_, v)| v)
+            .collect();
+        assert_eq!(nodes, vec![100.0, 500.0, 2000.0]);
+    }
+
+    #[test]
+    fn city_baseline_validator_enforces_the_acceptance_bars() {
+        // Wrong node counts.
+        let mut m = sample_city_measurement();
+        m.rows[1].nodes = 400;
+        assert!(validate_city_baseline(&city_json(&m)).is_err());
+        // Per-event cost blowing up with N.
+        let mut m = sample_city_measurement();
+        m.rows[2].ns_per_event = 1000.0;
+        let err = validate_city_baseline(&city_json(&m)).unwrap_err();
+        assert!(err.contains("per-event cost"), "{err}");
+        // Speedup under the bar.
+        let mut m = sample_city_measurement();
+        m.culled_speedup = 3.0;
+        let err = validate_city_baseline(&city_json(&m)).unwrap_err();
+        assert!(err.contains("speedup"), "{err}");
+        // Schema-only validation still accepts all three: quick runs
+        // are allowed to miss the bars, not the shape.
+        let mut m = sample_city_measurement();
+        m.rows[0].nodes = 10;
+        m.culled_speedup = 1.0;
+        assert!(validate_city_json(&city_json(&m)).is_ok());
+    }
+
+    /// The tracked city baseline must carry the N=100/500/2000 rows and
+    /// meet the flat-per-event-cost and culling-speedup bars —
+    /// `scripts/check.sh` runs this as part of the bench smoke step.
+    #[test]
+    fn tracked_bench_city_baseline_is_valid() {
+        let path = city_json_path();
+        let src = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing baseline {}: {e}", path.display()));
+        validate_city_baseline(&src)
+            .unwrap_or_else(|e| panic!("invalid baseline {}: {e}", path.display()));
     }
 
     /// The tracked baseline at the repository root must stay parseable

@@ -8,6 +8,7 @@
 //! CAM rate that actually reaches the air — the classic
 //! beaconing-vs-congestion-control trade-off.
 
+use crate::station::StationArena;
 use its_messages::common::StationId;
 use openc2x::node::{ItsStation, StationConfig};
 use phy80211p::dcc::DccState;
@@ -53,8 +54,12 @@ pub struct CongestionRecord {
     pub cams_transmitted: u64,
     /// Mean per-station CAM rate, Hz.
     pub cam_rate_hz: f64,
-    /// Mean channel busy ratio over the run.
+    /// Mean channel busy ratio over the run, derived from the actual
+    /// airtime of every frame that reached the air.
     pub mean_cbr: f64,
+    /// Total on-air time across the run, nanoseconds (the numerator of
+    /// [`mean_cbr`](Self::mean_cbr)).
+    pub airtime_on_air_ns: u64,
     /// The most restrictive DCC state any station reached.
     pub worst_dcc_state: DccState,
 }
@@ -69,6 +74,9 @@ pub fn run_congestion(config: &CongestionConfig) -> CongestionRecord {
     assert!(config.n_stations > 0, "need at least one station");
     let mut rng = SimRng::seed_from(config.seed);
     let mut medium = Medium::new();
+    // Hot per-tick kinematic state lives in a structure-of-arrays arena;
+    // the ItsStation objects carry the protocol stacks.
+    let mut arena = StationArena::new(SimDuration::from_millis(100));
     let mut stations: Vec<ItsStation> = (0..config.n_stations)
         .map(|i| {
             let clock = NodeClock::sample(&NtpModel::default(), &mut rng, 0);
@@ -78,30 +86,47 @@ pub fn run_congestion(config: &CongestionConfig) -> CongestionRecord {
             );
             // Spread around a 100 m ring (all in radio range).
             let angle = std::f64::consts::TAU * i as f64 / config.n_stations as f64;
-            s.set_position(Position2D::new(15.0 * angle.cos(), 15.0 * angle.sin()));
+            let pos = Position2D::new(15.0 * angle.cos(), 15.0 * angle.sin());
+            s.set_position(pos);
+            arena.push_station(pos, angle.to_degrees(), config.speed_mps);
             s
         })
         .collect();
 
+    let n = config.n_stations as f64;
     let mut cams_transmitted: u64 = 0;
     let mut busy_time_ns: u64 = 0;
+    let mut on_air_ns_total: u64 = 0;
     let mut worst_state = DccState::Relaxed;
     let mut now = SimTime::ZERO;
     let end = SimTime::ZERO + config.duration;
     while now < end {
+        // Kinematics: one contiguous pass over the arena's flat arrays
+        // keeps every station "driving" so the CA position trigger
+        // fires at the maximum rate the gatekeeper allows.
+        let phase = config.speed_mps * now.as_secs_f64() / (std::f64::consts::TAU * 15.0);
+        let (xs, ys) = arena.coords_mut();
+        for (i, (x, y)) in xs.iter_mut().zip(ys.iter_mut()).enumerate() {
+            let angle = std::f64::consts::TAU * (i as f64 / n + phase);
+            *x = 15.0 * angle.cos();
+            *y = 15.0 * angle.sin();
+        }
+        for (i, heading) in arena.headings_deg_mut().iter_mut().enumerate() {
+            *heading = (std::f64::consts::TAU * (i as f64 / n + phase)).to_degrees();
+        }
         for (i, station) in stations.iter_mut().enumerate() {
-            // Keep the station "driving" so the CA position trigger
-            // fires at the maximum rate the gatekeeper allows.
-            let angle = std::f64::consts::TAU
-                * (i as f64 / config.n_stations as f64
-                    + config.speed_mps * now.as_secs_f64() / (std::f64::consts::TAU * 15.0));
-            station.set_position(Position2D::new(15.0 * angle.cos(), 15.0 * angle.sin()));
-            station.set_motion(config.speed_mps, angle.to_degrees());
+            let idx = i as u32;
+            if let Some(pos) = arena.position_of(idx) {
+                station.set_position(pos);
+            }
+            let heading = arena.headings_deg().get(i).copied().unwrap_or(0.0);
+            station.set_motion(config.speed_mps, heading);
             if let Ok(Some(packet)) = station.poll_cam(now) {
                 let bytes = packet.to_bytes();
                 let at = airtime(bytes.len(), station.config().data_rate);
                 medium.occupy(now + at);
                 busy_time_ns += at.as_nanos();
+                on_air_ns_total += at.as_nanos();
                 cams_transmitted += 1;
             }
         }
@@ -121,14 +146,12 @@ pub fn run_congestion(config: &CongestionConfig) -> CongestionRecord {
         now += config.poll_period;
     }
 
-    // Mean CBR: total airtime over the run duration.
-    let total_airtime: f64 = stations
-        .iter()
-        .map(|s| s.tx_count() as f64)
-        .sum::<f64>()
-        // CAM frames are all roughly the same size; use a representative
-        // 70-byte frame airtime.
-        * airtime(70, phy80211p::ofdm::DataRate::Mbps6).as_secs_f64();
+    // Mean CBR: the airtime every frame actually spent on the air over
+    // the run duration. (An earlier version re-derived this from the
+    // transmit counters times a representative 70-byte frame airtime,
+    // which under-counted because real CAMs encode a larger payload;
+    // `congestion_cbr_uses_actual_airtime` pins the honest version.)
+    let total_airtime = SimDuration::from_nanos(on_air_ns_total).as_secs_f64();
     let mean_cbr = (total_airtime / config.duration.as_secs_f64()).min(1.0);
     let cam_rate_hz =
         cams_transmitted as f64 / config.n_stations as f64 / config.duration.as_secs_f64();
@@ -138,6 +161,7 @@ pub fn run_congestion(config: &CongestionConfig) -> CongestionRecord {
         cams_transmitted,
         cam_rate_hz,
         mean_cbr,
+        airtime_on_air_ns: on_air_ns_total,
         worst_dcc_state: worst_state,
     }
 }
@@ -240,6 +264,36 @@ mod tests {
         let a = run_congestion(&CongestionConfig::default());
         let b = run_congestion(&CongestionConfig::default());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn congestion_cbr_uses_actual_airtime() {
+        let config = CongestionConfig {
+            n_stations: 8,
+            duration: SimDuration::from_secs(5),
+            ..CongestionConfig::default()
+        };
+        let record = run_congestion(&config);
+        // The reported mean CBR must equal the actual accumulated
+        // airtime over the run duration...
+        let expected = SimDuration::from_nanos(record.airtime_on_air_ns).as_secs_f64()
+            / config.duration.as_secs_f64();
+        assert!(
+            (record.mean_cbr - expected.min(1.0)).abs() < 1e-12,
+            "{} vs {expected}",
+            record.mean_cbr
+        );
+        // ...and real CAMs are longer than the 70-byte representative
+        // frame the old estimate assumed, so the naive derivation
+        // undershoots the honest number.
+        let naive = record.cams_transmitted as f64
+            * airtime(70, phy80211p::ofdm::DataRate::Mbps6).as_secs_f64()
+            / config.duration.as_secs_f64();
+        assert!(
+            record.mean_cbr > naive,
+            "actual-airtime CBR {} should exceed the 70-byte estimate {naive}",
+            record.mean_cbr
+        );
     }
 
     #[test]

@@ -52,6 +52,7 @@
 
 pub mod ablation;
 pub mod campaign;
+pub mod city;
 pub mod congestion;
 pub mod experiments;
 pub mod faultsweep;
@@ -60,6 +61,7 @@ pub mod metrics;
 pub mod platoon;
 pub mod scaling;
 pub mod scenario;
+pub mod station;
 pub mod wire;
 
 pub use campaign::{CampaignSpec, Executor, SeedSchedule, Serial};

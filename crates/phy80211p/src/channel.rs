@@ -17,6 +17,15 @@ use std::collections::BTreeMap;
 /// Speed of light, m/s.
 const C_M_PER_S: f64 = 299_792_458.0;
 
+/// Per-frame delivery probability a culled receiver is allowed to lose:
+/// the cutoff radius is derived so delivery beyond it happens with
+/// probability at most `2 × CULL_EPS` (shadow tail + residual FER).
+pub const CULL_EPS: f64 = 1e-6;
+
+/// Shadowing margin, in standard deviations, granted to a receiver
+/// before it is culled. `P(N(0, σ) > 4.75 σ) ≈ 1e-6 = CULL_EPS`.
+pub const CULL_SHADOW_SIGMAS: f64 = 4.75;
+
 /// A point in the laboratory frame, metres.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Position2D {
@@ -224,6 +233,66 @@ impl Channel {
         };
         let bits = (8 * len_bytes.max(1)) as f64;
         1.0 - (1.0 - ber.clamp(0.0, 0.5)).powf(bits)
+    }
+
+    /// The lowest SNR (dB) at which a frame of `len_bytes` at `rate`
+    /// still has any plausible chance of decoding: below this floor the
+    /// frame-error rate is at least `1 − CULL_EPS`.
+    ///
+    /// Found by bisecting the monotone [`Channel::frame_error_rate`]
+    /// curve — a pure function of the channel configuration, so the
+    /// value is identical on every host.
+    pub fn delivery_floor_snr_db(&self, len_bytes: usize, rate: DataRate) -> f64 {
+        // FER is monotone non-increasing in SNR: find the largest SNR
+        // whose FER is still >= 1 - eps.
+        let mut lo = -60.0f64; // FER ~ 1 here for every rate
+        let mut hi = 80.0f64; // FER ~ 0 here for every rate
+        for _ in 0..64 {
+            let mid = 0.5 * (lo + hi);
+            if self.frame_error_rate(mid, len_bytes, rate) >= 1.0 - CULL_EPS {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// The path-loss cutoff radius (metres) beyond which a receiver is
+    /// implausible for a frame of `len_bytes` at `rate` and may be
+    /// culled without drawing its shadowing/PER randomness.
+    ///
+    /// Derivation (DESIGN.md §13): a receiver at distance `d` sees mean
+    /// SNR `tx + gain − PL(d) − noise`; log-normal shadowing exceeds
+    /// `CULL_SHADOW_SIGMAS · σ` with probability ≤ `CULL_EPS`, and even
+    /// at that shadowing the frame still dies (FER ≥ `1 − CULL_EPS`)
+    /// once the mean SNR plus the margin is below
+    /// [`Channel::delivery_floor_snr_db`]. Total delivery probability
+    /// beyond the returned radius is therefore ≤ `2 · CULL_EPS` per
+    /// frame. Obstacles only ever *add* loss, so ignoring them here is
+    /// conservative. Returns infinity when the configuration cannot
+    /// bound the radius (e.g. zero path-loss exponent).
+    pub fn cutoff_radius_m(&self, len_bytes: usize, rate: DataRate) -> f64 {
+        let floor = self.delivery_floor_snr_db(len_bytes, rate);
+        let margin = CULL_SHADOW_SIGMAS * self.config.shadowing_sigma_db.max(0.0);
+        // Cull when mean_snr + margin <= floor, i.e. path loss >=
+        // tx + gain - noise + margin - floor.
+        let required_loss = self.config.tx_power_dbm + self.config.antenna_gain_dbi
+            - self.config.noise_floor_dbm
+            + margin
+            - floor;
+        if self.config.path_loss_exponent <= 0.0 {
+            return f64::INFINITY;
+        }
+        let exponent = (required_loss - self.config.reference_loss_db)
+            / (10.0 * self.config.path_loss_exponent);
+        // Path loss is floored at 1 m, so the radius is too.
+        let d = 10f64.powf(exponent).max(1.0);
+        if d.is_finite() {
+            d
+        } else {
+            f64::INFINITY
+        }
     }
 
     /// Simulates one broadcast frame from `tx` as seen by `rx`.
@@ -521,6 +590,73 @@ mod tests {
             out.arrival.as_nanos(),
             1_000_000 + airtime_us * 1_000 + prop_ns
         );
+    }
+
+    #[test]
+    fn delivery_floor_is_a_floor() {
+        let ch = lab_channel();
+        for rate in [DataRate::Mbps6, DataRate::Mbps12, DataRate::Mbps27] {
+            let floor = ch.delivery_floor_snr_db(100, rate);
+            assert!(
+                ch.frame_error_rate(floor, 100, rate) >= 1.0 - CULL_EPS,
+                "{rate:?}"
+            );
+            assert!(
+                ch.frame_error_rate(floor + 0.01, 100, rate) < 1.0 - CULL_EPS,
+                "{rate:?} floor not tight"
+            );
+        }
+    }
+
+    #[test]
+    fn cutoff_radius_bounds_delivery() {
+        // An urban-profile channel (the city scenario's configuration
+        // family): beyond the cutoff the mean SNR plus the full
+        // shadowing margin still cannot decode the frame.
+        let ch = Channel::new(ChannelConfig {
+            tx_power_dbm: 10.0,
+            path_loss_exponent: 3.2,
+            ..ChannelConfig::default()
+        });
+        let r = ch.cutoff_radius_m(100, DataRate::Mbps6);
+        assert!(r.is_finite() && r > 10.0, "cutoff {r}");
+        let margin = CULL_SHADOW_SIGMAS * ch.config().shadowing_sigma_db;
+        let tx = Position2D::default();
+        for d in [r * 1.0001, r * 1.5, r * 10.0] {
+            let snr_best = ch.mean_rx_power_dbm(tx, Position2D::new(d, 0.0)) + margin
+                - ch.config().noise_floor_dbm;
+            assert!(
+                ch.frame_error_rate(snr_best, 100, DataRate::Mbps6) >= 1.0 - CULL_EPS,
+                "a receiver at {d} m (cutoff {r}) could still decode"
+            );
+        }
+        // Just inside the cutoff the same bound must NOT hold — the
+        // radius is tight, not merely safe.
+        let snr_inside = ch.mean_rx_power_dbm(tx, Position2D::new(r * 0.999, 0.0)) + margin
+            - ch.config().noise_floor_dbm;
+        assert!(ch.frame_error_rate(snr_inside, 100, DataRate::Mbps6) < 1.0 - CULL_EPS);
+    }
+
+    #[test]
+    fn cutoff_radius_grows_with_tx_power_and_shrinks_with_exponent() {
+        let base = ChannelConfig {
+            tx_power_dbm: 10.0,
+            path_loss_exponent: 3.2,
+            ..ChannelConfig::default()
+        };
+        let r0 = Channel::new(base.clone()).cutoff_radius_m(100, DataRate::Mbps6);
+        let louder = Channel::new(ChannelConfig {
+            tx_power_dbm: 20.0,
+            ..base.clone()
+        })
+        .cutoff_radius_m(100, DataRate::Mbps6);
+        let denser = Channel::new(ChannelConfig {
+            path_loss_exponent: 4.0,
+            ..base
+        })
+        .cutoff_radius_m(100, DataRate::Mbps6);
+        assert!(louder > r0, "{louder} vs {r0}");
+        assert!(denser < r0, "{denser} vs {r0}");
     }
 
     #[test]

@@ -94,6 +94,21 @@ impl DccState {
     }
 }
 
+/// One reactive-DCC ladder transition for a completed CBR measurement —
+/// the pure step [`DccGatekeeper::update_state`] applies, exposed so
+/// structure-of-arrays station state (the city-scale fleets) can run
+/// the identical state machine over contiguous arrays without a
+/// per-station gatekeeper object.
+pub fn step_state(state: DccState, cbr: f64) -> DccState {
+    if cbr > state.up_threshold() {
+        state.more_restrictive()
+    } else if cbr < state.down_threshold() {
+        state.less_restrictive()
+    } else {
+        state
+    }
+}
+
 /// Sliding channel-busy-ratio probe.
 ///
 /// CBR = fraction of the probe interval the medium was sensed busy.
@@ -211,11 +226,7 @@ impl DccGatekeeper {
     /// Returns the (possibly new) state.
     pub fn update_state(&mut self, now: SimTime) -> DccState {
         let cbr = self.probe.cbr(now);
-        if cbr > self.state.up_threshold() {
-            self.state = self.state.more_restrictive();
-        } else if cbr < self.state.down_threshold() {
-            self.state = self.state.less_restrictive();
-        }
+        self.state = step_state(self.state, cbr);
         self.state
     }
 
@@ -344,6 +355,34 @@ mod tests {
             t += SimDuration::from_millis(100);
             dcc.update_state(t);
             assert_eq!(dcc.state(), DccState::Active1);
+        }
+    }
+
+    #[test]
+    fn step_state_matches_gatekeeper_transitions() {
+        // The pure ladder step and the gatekeeper must agree on every
+        // (state, cbr) combination — the arena path depends on it.
+        for state in DccState::ALL {
+            for cbr10 in 0..=10u64 {
+                let cbr = cbr10 as f64 / 10.0;
+                let busy = SimDuration::from_secs_f64(0.1 * cbr);
+                let mut dcc = DccGatekeeper::new();
+                dcc.state = state;
+                // Feed one full window of busy time, then update. Compare
+                // against `step_state` applied to the CBR an identical
+                // probe measures, so duration round-trip rounding at the
+                // threshold values cannot skew the comparison.
+                let mut probe = CbrProbe::new();
+                probe.record_busy(SimTime::ZERO, busy);
+                let measured = probe.cbr(SimTime::from_millis(100));
+                dcc.observe_busy(SimTime::ZERO, busy);
+                let via_gatekeeper = dcc.update_state(SimTime::from_millis(100));
+                assert_eq!(
+                    via_gatekeeper,
+                    step_state(state, measured),
+                    "state {state:?} cbr {cbr}"
+                );
+            }
         }
     }
 

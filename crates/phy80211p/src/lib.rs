@@ -14,7 +14,9 @@
 //!   NLoS blind-corner obstruction model, and an SNR→frame-error model per
 //!   modulation/coding scheme,
 //! * [`cellular`] — a 5G-like alternative access interface (paper §V
-//!   future work) for the interface-comparison extension experiment.
+//!   future work) for the interface-comparison extension experiment,
+//! * [`spatial`] — a grid-bucket spatial index so city-scale broadcasts
+//!   only evaluate receivers within the channel's cutoff radius.
 //!
 //! # Example
 //!
@@ -35,7 +37,9 @@ pub mod channel;
 pub mod dcc;
 pub mod edca;
 pub mod ofdm;
+pub mod spatial;
 
 pub use channel::{Channel, ChannelConfig, Obstacle, Position2D, TransmitOutcome};
 pub use edca::{AccessCategory, EdcaMac, EdcaParams, Medium};
 pub use ofdm::{airtime, DataRate};
+pub use spatial::SpatialGrid;

@@ -1,0 +1,102 @@
+//! City-scale beaconing on an urban Manhattan grid: vehicles CAM under
+//! DCC, RSUs issue periodic DENMs, and the spatial grid culls receivers
+//! beyond the channel's cutoff radius so each broadcast only evaluates
+//! its street-scale neighbourhood.
+//!
+//! `--nodes N` sets the fleet size of the single-city detail run;
+//! `--threads N` (or `RUNNER_THREADS`) picks the sweep's worker count —
+//! the table is identical either way.
+//!
+//! ```sh
+//! cargo run --example city_grid --release -- --nodes 500 --threads 4
+//! ```
+
+use its_testbed::city::{run_city, sweep_city, CityConfig};
+use its_testbed::Runner;
+
+/// Scans the arguments for `--nodes N` / `--nodes=N`, reusing the
+/// strict positive-integer parser the `--threads` flag uses.
+fn nodes_flag(args: impl IntoIterator<Item = String>) -> Result<Option<usize>, String> {
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--nodes" {
+            let value = it.next().unwrap_or_default();
+            return runner::parse_threads(&value)
+                .map(Some)
+                .map_err(|e| e.to_string());
+        }
+        if let Some(v) = arg.strip_prefix("--nodes=") {
+            return runner::parse_threads(v)
+                .map(Some)
+                .map_err(|e| e.to_string());
+        }
+    }
+    Ok(None)
+}
+
+fn main() {
+    let runner = match runner::threads_flag(std::env::args()) {
+        Ok(Some(n)) => Runner::new(n),
+        Ok(None) => Runner::from_env(),
+        Err(e) => {
+            eprintln!("--threads: {e}");
+            std::process::exit(2);
+        }
+    };
+    let nodes = match nodes_flag(std::env::args()) {
+        Ok(n) => n.unwrap_or(500),
+        Err(e) => {
+            eprintln!("--nodes: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    println!("City-scale ITS beaconing — spatial-grid receiver culling\n");
+    println!(
+        "Node-count sweep (10 s simulated each, {} worker thread(s)):",
+        runner.threads()
+    );
+    print!(
+        "{}",
+        sweep_city(&runner, &CityConfig::default(), &[100, 500, 2000])
+    );
+
+    // Zoom into one city, culled vs exhaustive.
+    let config = CityConfig {
+        n_stations: nodes,
+        ..CityConfig::default()
+    };
+    let culled = run_city(&config);
+    let exhaustive = run_city(&CityConfig {
+        exhaustive: true,
+        ..config
+    });
+    println!("\n{nodes}-node city detail:");
+    println!("  CAMs on the air: {}", culled.cams_transmitted);
+    println!(
+        "  in-cutoff CAM delivery ratio: {:.4}",
+        culled.cam_delivery_ratio
+    );
+    println!("  mean CBR: {:.4}", culled.mean_cbr);
+    println!(
+        "  DENM receptions: {} (mean latency {:.3} ms)",
+        culled.denm_receptions, culled.mean_denm_latency_ms
+    );
+    println!("  worst DCC state reached: {:?}", culled.worst_dcc_state);
+    println!(
+        "  channel evaluations: {} culled vs {} exhaustive ({:.1}× fewer)",
+        culled.events,
+        exhaustive.events,
+        exhaustive.events as f64 / culled.events.max(1) as f64
+    );
+    println!();
+    println!("Culled receivers are beyond the cutoff radius, where delivery");
+    println!("probability is below 2e-6 even at +4.75 sigma shadowing — and");
+    println!("because per-receiver randomness is forked per (frame, receiver),");
+    println!("skipping them changes no other receiver's draws: both modes");
+    println!("produce the bit-identical record.");
+    assert_eq!(
+        culled.cams_transmitted, exhaustive.cams_transmitted,
+        "culled and exhaustive runs diverged"
+    );
+}

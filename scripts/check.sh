@@ -65,4 +65,16 @@ BENCH_QUICK=1 cargo bench -q --bench campaign_throughput
 mv BENCH_campaign.json.tracked BENCH_campaign.json
 cargo test -q -p bench tracked_bench_campaign_baseline_is_valid
 
+# City-scale smoke: run the node-count bench in quick mode (small
+# fleets, 1 s horizon) so the harness, its culled-vs-exhaustive
+# bit-equality assertion and the BENCH_city.json writer all execute;
+# then restore the tracked baseline and validate it (exact
+# N=100/500/2000 rows, flat per-event cost, culling speedup bar) via
+# the bench crate's baseline test.
+echo "==> city bench smoke (BENCH_QUICK=1 city_scale)"
+cp BENCH_city.json BENCH_city.json.tracked
+BENCH_QUICK=1 cargo bench -q --bench city_scale
+mv BENCH_city.json.tracked BENCH_city.json
+cargo test -q -p bench tracked_bench_city_baseline_is_valid
+
 echo "check.sh: all gates passed"

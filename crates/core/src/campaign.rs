@@ -125,6 +125,67 @@ impl CampaignSpec {
     }
 }
 
+/// Named campaigns a binary — or a campaign server — can execute by
+/// name.
+///
+/// A registry is plain data: names and `fn() -> Vec<CampaignSpec>`
+/// pointers. Because deriving a campaign is pure code, two processes
+/// (a shard coordinator and its re-exec'd worker, or a campaign server
+/// and a socket worker on another host) construct the same registry and
+/// identify a campaign across the process boundary by name plus grid
+/// fingerprint instead of by serialising configuration — see
+/// [`grid_fingerprint`] and DESIGN.md §10/§14.
+///
+/// Registration order is part of the API: [`names`](Self::names)
+/// iterates in it, so listings (e.g. the campaign server's
+/// `GET /campaigns`) are deterministic for a given binary.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignRegistry {
+    entries: Vec<(&'static str, fn() -> Vec<CampaignSpec>)>,
+}
+
+impl CampaignRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a named campaign; `derive` must be a pure function so every
+    /// process derives identical specs.
+    pub fn register(mut self, name: &'static str, derive: fn() -> Vec<CampaignSpec>) -> Self {
+        self.entries.push((name, derive));
+        self
+    }
+
+    /// Derives the named campaign's specs, if registered.
+    pub fn derive(&self, name: &str) -> Option<Vec<CampaignSpec>> {
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, f)| f())
+    }
+
+    /// Whether `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.iter().any(|(n, _)| *n == name)
+    }
+
+    /// Registered campaign names, in registration order.
+    pub fn names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.entries.iter().map(|(n, _)| *n)
+    }
+
+    /// Number of registered campaigns.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// A stable fingerprint of a whole campaign grid, order-sensitive.
 pub fn grid_fingerprint(specs: &[CampaignSpec]) -> u64 {
     let mut h = Fnv::new();
@@ -342,6 +403,29 @@ mod tests {
         );
         let grid = [CampaignSpec::new(base(), 5), CampaignSpec::new(base(), 2)];
         assert_ne!(grid_fingerprint(&grid), grid_fingerprint(&grid[..1]));
+    }
+
+    #[test]
+    fn registry_lookup_and_ordered_names() {
+        fn grid_a() -> Vec<CampaignSpec> {
+            vec![CampaignSpec::new(ScenarioConfig::default(), 2)]
+        }
+        fn grid_b() -> Vec<CampaignSpec> {
+            vec![CampaignSpec::new(ScenarioConfig::default(), 3)]
+        }
+        let r = CampaignRegistry::new()
+            .register("beta", grid_b)
+            .register("alpha", grid_a);
+        // Registration order, not lexical order: listings must reflect
+        // exactly what the binary registered.
+        assert_eq!(r.names().collect::<Vec<_>>(), vec!["beta", "alpha"]);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        assert!(r.contains("alpha"));
+        assert!(!r.contains("gamma"));
+        assert_eq!(r.derive("beta").map(|g| g.len()), Some(1));
+        assert!(r.derive("gamma").is_none());
+        assert!(CampaignRegistry::new().is_empty());
     }
 
     #[test]

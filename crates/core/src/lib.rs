@@ -62,8 +62,9 @@ pub mod platoon;
 pub mod scaling;
 pub mod scenario;
 pub mod station;
+pub mod submission;
 pub mod wire;
 
-pub use campaign::{CampaignSpec, Executor, SeedSchedule, Serial};
+pub use campaign::{CampaignRegistry, CampaignSpec, Executor, SeedSchedule, Serial};
 pub use runner::Runner;
 pub use scenario::{RunRecord, Scenario, ScenarioConfig};

@@ -65,6 +65,7 @@ impl Default for Config {
                 "detlint".into(),
                 "proptest".into(),
                 "criterion".into(),
+                "campaignd".into(),
             ],
             s2_paths: vec![
                 "crates/phy80211p/src/edca.rs".into(),

@@ -66,8 +66,16 @@ impl Response {
 
     /// A 400 response with a reason.
     pub fn bad_request(reason: &str) -> Self {
+        Self::with_status(400, reason)
+    }
+
+    /// A plain-text response with an arbitrary status code — the
+    /// campaign server's 409 Conflict (submission fingerprint mismatch)
+    /// and 503 Service Unavailable (queue full) answers come through
+    /// here.
+    pub fn with_status(status: u16, reason: &str) -> Self {
         Self {
-            status: 400,
+            status,
             body: reason.as_bytes().to_vec(),
             content_type: "text/plain".to_owned(),
         }
@@ -78,6 +86,8 @@ impl Response {
             200 => "OK",
             400 => "Bad Request",
             404 => "Not Found",
+            409 => "Conflict",
+            503 => "Service Unavailable",
             _ => "Unknown",
         }
     }
@@ -483,6 +493,26 @@ mod tests {
         let server = echo_server();
         let resp = post(server.addr(), "/nope", b"").unwrap();
         assert_eq!(resp.status, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn with_status_carries_code_and_reason_over_the_wire() {
+        let mut s = HttpServer::new();
+        s.route("POST", "/full", |_| {
+            Response::with_status(503, "queue full")
+        });
+        s.route("POST", "/clash", |_| {
+            Response::with_status(409, "fingerprint mismatch")
+        });
+        let server = s.serve("127.0.0.1:0").expect("bind");
+        let resp = post(server.addr(), "/full", b"").unwrap();
+        assert_eq!(
+            (resp.status, resp.body.as_slice()),
+            (503, &b"queue full"[..])
+        );
+        let resp = post(server.addr(), "/clash", b"").unwrap();
+        assert_eq!(resp.status, 409);
         server.shutdown();
     }
 

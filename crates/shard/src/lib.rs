@@ -1,30 +1,42 @@
 //! Multi-process campaign executor: deterministic sharding across
-//! worker processes (DESIGN.md §10).
+//! worker processes (DESIGN.md §10/§14).
 //!
 //! The in-process thread [`runner::Runner`] parallelises a campaign with
 //! static contiguous chunks merged in index order. This crate extends
-//! the same contract across *processes*: a coordinator re-execs the
-//! current binary in a hidden `--shard-worker` mode, assigns each worker
-//! a contiguous seed-index chunk computed with the very same
-//! [`runner::chunk_bounds`] math, receives length-prefixed
-//! [`RunRecord`] frames ([`its_testbed::wire`]) over a stdout pipe, and
-//! merges chunks in worker order. Because jobs are pure functions of
-//! their index and the chunk/merge math is shared, shard-mode aggregates
-//! are **bitwise identical** to serial and to the thread runner at every
-//! worker count, including 1.
+//! the same contract across *processes*, in two layers:
+//!
+//! * [`protocol`] — every byte of the worker protocol: the `"SHRD"`
+//!   assignment frame, the `"SHRS"`…`"SHRE"` result stream of
+//!   length-prefixed [`RunRecord`] frames ([`its_testbed::wire`]), the
+//!   registry-fingerprint handshake, and the shared chunk math. The
+//!   worker side is one function, [`protocol::serve_stream`], over
+//!   generic `Read`/`Write`.
+//! * [`transport`] — what carries those bytes: the
+//!   [`transport::FrameTransport`] trait with the child-process
+//!   [`transport::PipeTransport`] (re-exec with `--shard-worker`,
+//!   stdin/stdout pipes) and the socket [`transport::TcpTransport`]
+//!   (used by the `campaignd` campaign server and its `--shard-listen`
+//!   socket workers).
+//!
+//! [`ShardExecutor`] is the coordinator: it assigns each worker a
+//! contiguous seed-index chunk computed with the very same
+//! [`runner::chunk_bounds`] math and merges chunks in worker order.
+//! Because jobs are pure functions of their index and the chunk/merge
+//! math is shared, shard-mode aggregates are **bitwise identical** to
+//! serial and to the thread runner at every worker count, including 1.
 //!
 //! # How a campaign crosses the process boundary
 //!
 //! Closures cannot be sent to another process, so workers *re-derive*
 //! the campaign from code: the host binary registers named campaigns in
-//! a [`CampaignRegistry`] (a name plus a plain `fn() -> Vec<CampaignSpec>`)
-//! and calls [`worker_main_if_requested`] first thing in `main`. The
-//! coordinator sends only the campaign name, a fingerprint of the specs
-//! it expects ([`its_testbed::campaign::grid_fingerprint`]), and the
-//! chunk bounds; a worker whose derived specs do not match the
-//! fingerprint refuses the assignment, and the coordinator re-executes
-//! the chunk in-process — degraded to local execution, never to wrong
-//! results.
+//! a [`CampaignRegistry`] (a name plus a plain `fn() -> Vec<CampaignSpec>`,
+//! shared repo-wide from [`its_testbed::campaign`]) and calls
+//! [`worker_main_if_requested`] first thing in `main`. The coordinator
+//! sends only the campaign name, a fingerprint of the specs it expects
+//! ([`its_testbed::campaign::grid_fingerprint`]), and the chunk bounds;
+//! a worker whose derived specs do not match the fingerprint refuses
+//! the assignment, and the coordinator re-executes the chunk in-process
+//! — degraded to local execution, never to wrong results.
 //!
 //! # Failure handling
 //!
@@ -62,14 +74,19 @@
 #![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
-use geonet::bytesio::{ByteReader, ByteWriterExt};
+pub mod protocol;
+pub mod transport;
+
 use its_testbed::campaign::{grid_fingerprint, CampaignSpec, Executor};
 use its_testbed::RunRecord;
-use std::io::{Read, Write};
-use std::process::{Child, Command, Stdio};
+use protocol::{
+    encode_assignment, flat_job, grid_offsets, serve_stream, Assignment, ServeOutcome, FLAT_GRID,
+};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
 use std::time::Duration;
+use transport::{collect_chunk, ChunkFailure, FrameTransport, PipeTransport};
+
+pub use its_testbed::campaign::CampaignRegistry;
 
 /// The hidden argv flag that switches a re-exec'd binary into worker
 /// mode.
@@ -87,18 +104,6 @@ pub const KILL_ENV: &str = "SHARD_INJECT_KILL";
 /// result-timeout path ([`ShardExecutor::timed_out_chunks`]): the hung
 /// child is killed and its chunk re-executed in-process.
 pub const HANG_ENV: &str = "SHARD_INJECT_HANG";
-
-/// Wire version of the shard assignment/result protocol.
-const PROTOCOL_VERSION: u8 = 1;
-/// Assignment frame magic (coordinator → worker stdin).
-const ASSIGN_MAGIC: &[u8; 4] = b"SHRD";
-/// Result stream magic (worker stdout → coordinator).
-const RESULT_MAGIC: &[u8; 4] = b"SHRS";
-/// Result stream trailer: guards against a worker dying mid-write.
-const RESULT_TRAILER: &[u8; 4] = b"SHRE";
-/// `spec_index` sentinel: the chunk indexes the flattened grid, not a
-/// single spec.
-const FLAT_GRID: u32 = u32::MAX;
 
 /// Errors surfaced by the shard layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -153,222 +158,6 @@ impl From<its_testbed::wire::WireError> for ShardError {
     }
 }
 
-/// Named campaigns a binary can execute in worker mode.
-///
-/// Both the coordinator and its re-exec'd workers construct the same
-/// registry (it is plain data: names and `fn` pointers), so a campaign
-/// is identified across the process boundary by name + spec fingerprint
-/// instead of by serialising configuration.
-#[derive(Debug, Clone, Default)]
-pub struct CampaignRegistry {
-    entries: Vec<(&'static str, fn() -> Vec<CampaignSpec>)>,
-}
-
-impl CampaignRegistry {
-    /// An empty registry.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Adds a named campaign; `derive` must be a pure function so every
-    /// process derives identical specs.
-    pub fn register(mut self, name: &'static str, derive: fn() -> Vec<CampaignSpec>) -> Self {
-        self.entries.push((name, derive));
-        self
-    }
-
-    /// Derives the named campaign's specs, if registered.
-    pub fn derive(&self, name: &str) -> Option<Vec<CampaignSpec>> {
-        self.entries
-            .iter()
-            .find(|(n, _)| *n == name)
-            .map(|(_, f)| f())
-    }
-
-    /// Registered campaign names, in registration order.
-    pub fn names(&self) -> impl Iterator<Item = &'static str> + '_ {
-        self.entries.iter().map(|(n, _)| *n)
-    }
-}
-
-/// One worker's chunk assignment.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Assignment {
-    worker_index: u32,
-    campaign: String,
-    grid_fp: u64,
-    spec_index: u32,
-    lo: u64,
-    hi: u64,
-}
-
-fn encode_assignment(a: &Assignment) -> Vec<u8> {
-    let mut out = Vec::with_capacity(64);
-    out.extend_from_slice(ASSIGN_MAGIC);
-    out.put_u8(PROTOCOL_VERSION);
-    out.put_u32(a.worker_index);
-    out.put_u32(a.campaign.len() as u32);
-    out.extend_from_slice(a.campaign.as_bytes());
-    out.put_u64(a.grid_fp);
-    out.put_u32(a.spec_index);
-    out.put_u64(a.lo);
-    out.put_u64(a.hi);
-    out
-}
-
-fn decode_assignment(bytes: &[u8]) -> Result<Assignment, ShardError> {
-    let mut r = ByteReader::new(bytes);
-    if r.take(4)? != ASSIGN_MAGIC {
-        return Err(ShardError::Protocol("bad assignment magic".into()));
-    }
-    let version = r.u8()?;
-    if version != PROTOCOL_VERSION {
-        return Err(ShardError::Protocol(format!(
-            "unsupported protocol version {version}"
-        )));
-    }
-    let worker_index = r.u32()?;
-    let name_len = r.u32()? as usize;
-    let campaign = String::from_utf8(r.take(name_len)?.to_vec())
-        .map_err(|_| ShardError::Protocol("campaign name is not UTF-8".into()))?;
-    let grid_fp = r.u64()?;
-    let spec_index = r.u32()?;
-    let lo = r.u64()?;
-    let hi = r.u64()?;
-    if r.remaining() != 0 {
-        return Err(ShardError::Protocol(format!(
-            "{} trailing bytes after assignment",
-            r.remaining()
-        )));
-    }
-    if lo > hi {
-        return Err(ShardError::Protocol(format!("inverted chunk {lo}..{hi}")));
-    }
-    Ok(Assignment {
-        worker_index,
-        campaign,
-        grid_fp,
-        spec_index,
-        lo,
-        hi,
-    })
-}
-
-fn encode_results(records: &[RunRecord]) -> Vec<u8> {
-    let mut out = Vec::new();
-    out.extend_from_slice(RESULT_MAGIC);
-    out.put_u8(PROTOCOL_VERSION);
-    out.put_u32(records.len() as u32);
-    for record in records {
-        out.extend_from_slice(&record.encode());
-    }
-    out.extend_from_slice(RESULT_TRAILER);
-    out
-}
-
-fn decode_results(bytes: &[u8], expected: usize) -> Result<Vec<RunRecord>, ShardError> {
-    let mut r = ByteReader::new(bytes);
-    if r.take(4)? != RESULT_MAGIC {
-        return Err(ShardError::Protocol("bad result magic".into()));
-    }
-    let version = r.u8()?;
-    if version != PROTOCOL_VERSION {
-        return Err(ShardError::Protocol(format!(
-            "unsupported protocol version {version}"
-        )));
-    }
-    let count = r.u32()? as usize;
-    if count != expected {
-        return Err(ShardError::Protocol(format!(
-            "worker returned {count} records, chunk holds {expected}"
-        )));
-    }
-    let mut records = Vec::with_capacity(expected.min(bytes.len()));
-    for _ in 0..count {
-        records.push(RunRecord::decode_from(&mut r)?);
-    }
-    if r.take(4)? != RESULT_TRAILER {
-        return Err(ShardError::Protocol("missing result trailer".into()));
-    }
-    if r.remaining() != 0 {
-        return Err(ShardError::Protocol(format!(
-            "{} trailing bytes after results",
-            r.remaining()
-        )));
-    }
-    Ok(records)
-}
-
-/// Exclusive prefix sums of the grid's run counts; the last element is
-/// the flat job total. Shared by coordinator and worker so flat indices
-/// mean the same thing on both sides.
-fn grid_offsets(grid: &[CampaignSpec]) -> Vec<usize> {
-    let mut offsets = Vec::with_capacity(grid.len() + 1);
-    let mut total = 0usize;
-    for spec in grid {
-        offsets.push(total);
-        total += spec.runs;
-    }
-    offsets.push(total);
-    offsets
-}
-
-/// Runs flat job `j` of the grid: row-major, spec-major / run-minor —
-/// the same flattening `Runner::execute_grid` uses.
-fn flat_job(grid: &[CampaignSpec], offsets: &[usize], j: usize) -> RunRecord {
-    let k = match offsets.binary_search(&j) {
-        Ok(k) => k,
-        Err(k) => k - 1,
-    };
-    grid[k].run_job(j - offsets[k])
-}
-
-fn compute_chunk(
-    grid: &[CampaignSpec],
-    spec_index: u32,
-    lo: usize,
-    hi: usize,
-) -> Result<Vec<RunRecord>, ShardError> {
-    if spec_index == FLAT_GRID {
-        let offsets = grid_offsets(grid);
-        let total = *offsets.last().unwrap_or(&0);
-        if hi > total {
-            return Err(ShardError::Protocol(format!(
-                "chunk {lo}..{hi} exceeds {total} flat jobs"
-            )));
-        }
-        Ok((lo..hi).map(|j| flat_job(grid, &offsets, j)).collect())
-    } else {
-        let spec = grid
-            .get(spec_index as usize)
-            .ok_or_else(|| ShardError::Protocol(format!("spec index {spec_index} out of range")))?;
-        if hi > spec.runs {
-            return Err(ShardError::Protocol(format!(
-                "chunk {lo}..{hi} exceeds {} runs",
-                spec.runs
-            )));
-        }
-        Ok((lo..hi).map(|i| spec.run_job(i)).collect())
-    }
-}
-
-fn injection_requested(env: &str, worker_index: u32) -> bool {
-    std::env::var(env)
-        .map(|v| {
-            v.split(',')
-                .any(|tok| tok.trim().parse::<u32>() == Ok(worker_index))
-        })
-        .unwrap_or(false)
-}
-
-fn kill_requested(worker_index: u32) -> bool {
-    injection_requested(KILL_ENV, worker_index)
-}
-
-fn hang_requested(worker_index: u32) -> bool {
-    injection_requested(HANG_ENV, worker_index)
-}
-
 /// Enters worker mode — and never returns — when `--shard-worker` is on
 /// the command line; otherwise does nothing.
 ///
@@ -381,7 +170,9 @@ pub fn worker_main_if_requested(registry: &CampaignRegistry) {
         return;
     }
     let code = match run_worker(registry) {
-        Ok(()) => 0,
+        Ok(ServeOutcome::Completed) => 0,
+        // An injected kill dies mid-protocol with a distinctive status.
+        Ok(ServeOutcome::InjectedKill) => 9,
         Err(e) => {
             eprintln!("shard worker: {e}");
             3
@@ -390,60 +181,10 @@ pub fn worker_main_if_requested(registry: &CampaignRegistry) {
     std::process::exit(code);
 }
 
-fn run_worker(registry: &CampaignRegistry) -> Result<(), ShardError> {
-    let mut input = Vec::new();
-    std::io::stdin().lock().read_to_end(&mut input)?;
-    let assignment = decode_assignment(&input)?;
-
+fn run_worker(registry: &CampaignRegistry) -> Result<ServeOutcome, ShardError> {
+    let stdin = std::io::stdin();
     let stdout = std::io::stdout();
-    if kill_requested(assignment.worker_index) {
-        // Die mid-protocol: magic written, records missing — the
-        // coordinator must detect the truncation and re-run the chunk.
-        let mut out = stdout.lock();
-        out.write_all(RESULT_MAGIC)?;
-        out.flush()?;
-        std::process::exit(9);
-    }
-    if hang_requested(assignment.worker_index) {
-        // Hang without producing a byte: the coordinator's result
-        // timeout must fire, kill this process, and re-run the chunk.
-        // park() may wake spuriously, hence the loop.
-        loop {
-            std::thread::park();
-        }
-    }
-
-    let grid = registry
-        .derive(&assignment.campaign)
-        .ok_or_else(|| ShardError::UnknownCampaign(assignment.campaign.clone()))?;
-    let derived = grid_fingerprint(&grid);
-    if derived != assignment.grid_fp {
-        return Err(ShardError::FingerprintMismatch {
-            expected: assignment.grid_fp,
-            derived,
-        });
-    }
-
-    let records = compute_chunk(
-        &grid,
-        assignment.spec_index,
-        assignment.lo as usize,
-        assignment.hi as usize,
-    )?;
-    let mut out = stdout.lock();
-    out.write_all(&encode_results(&records))?;
-    out.flush()?;
-    Ok(())
-}
-
-/// A handle on one spawned worker: the child plus the channel its
-/// stdout-reader thread reports on. `None` when the spawn itself failed.
-enum Worker {
-    Spawned {
-        child: Child,
-        rx: mpsc::Receiver<std::io::Result<Vec<u8>>>,
-    },
-    FailedToSpawn,
+    serve_stream(&mut stdin.lock(), &mut stdout.lock(), registry)
 }
 
 /// The multi-process campaign executor (coordinator side).
@@ -467,6 +208,11 @@ pub struct ShardExecutor {
 impl ShardExecutor {
     /// An executor sharding the registry's `campaign` across `workers`
     /// processes (clamped to at least 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError::UnknownCampaign`] when the registry does
+    /// not know `campaign`.
     pub fn new(
         workers: usize,
         campaign: &str,
@@ -489,6 +235,7 @@ impl ShardExecutor {
 
     /// Replaces the per-worker result timeout (default 120 s). A worker
     /// that exceeds it is killed and its chunk re-executed in-process.
+    #[must_use]
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = timeout;
         self
@@ -517,9 +264,9 @@ impl ShardExecutor {
 
     /// Shards `jobs` flat indices across the worker processes and merges
     /// the chunks in worker order. `spec_index` selects a single spec of
-    /// the campaign grid or, as [`FLAT_GRID`], the row-major flattened
-    /// grid. Chunks whose worker fails are re-derived in-process with
-    /// `rerun` — identical bytes, by purity of the jobs.
+    /// the campaign grid or, as [`protocol::FLAT_GRID`], the row-major
+    /// flattened grid. Chunks whose worker fails are re-derived
+    /// in-process with `rerun` — identical bytes, by purity of the jobs.
     fn run_sharded(
         &self,
         spec_index: u32,
@@ -535,102 +282,46 @@ impl ShardExecutor {
             .map(|w| runner::chunk_bounds(jobs, workers, w))
             .collect();
 
-        let handles: Vec<Worker> = chunks
+        // Assign every worker its chunk up front — each PipeTransport
+        // starts its stdout reader at send_frame, so workers compute
+        // concurrently while we collect in chunk order below.
+        let links: Vec<Option<PipeTransport>> = chunks
             .iter()
             .enumerate()
             .map(|(w, &(lo, hi))| {
-                let Some(exe) = exe.as_ref() else {
-                    return Worker::FailedToSpawn;
-                };
-                self.spawn_worker(exe, w as u32, spec_index, lo, hi)
-                    .unwrap_or(Worker::FailedToSpawn)
+                let exe = exe.as_ref()?;
+                let mut link = PipeTransport::spawn(exe).ok()?;
+                let frame = encode_assignment(&Assignment {
+                    worker_index: w as u32,
+                    campaign: self.campaign.clone(),
+                    grid_fp: self.grid_fp,
+                    spec_index,
+                    lo: lo as u64,
+                    hi: hi as u64,
+                });
+                link.send_frame(&frame).ok()?;
+                Some(link)
             })
             .collect();
 
         let mut out = Vec::with_capacity(jobs);
-        for (handle, &(lo, hi)) in handles.into_iter().zip(&chunks) {
-            match self.collect_worker(handle, hi - lo) {
+        for (link, &(lo, hi)) in links.into_iter().zip(&chunks) {
+            let collected = match link {
+                Some(mut link) => collect_chunk(&mut link, hi - lo, self.timeout),
+                None => Err(ChunkFailure::Failed("worker failed to spawn".into())),
+            };
+            match collected {
                 Ok(records) => out.extend(records),
-                Err(_) => {
+                Err(failure) => {
+                    if failure == ChunkFailure::TimedOut {
+                        self.timed_out_chunks.fetch_add(1, Ordering::Relaxed);
+                    }
                     self.fallback_chunks.fetch_add(1, Ordering::Relaxed);
                     out.extend(rerun(lo, hi));
                 }
             }
         }
         out
-    }
-
-    fn spawn_worker(
-        &self,
-        exe: &std::path::Path,
-        worker_index: u32,
-        spec_index: u32,
-        lo: usize,
-        hi: usize,
-    ) -> Result<Worker, ShardError> {
-        let mut child = Command::new(exe)
-            .arg(WORKER_FLAG)
-            .stdin(Stdio::piped())
-            .stdout(Stdio::piped())
-            .stderr(Stdio::inherit())
-            .spawn()?;
-        // The assignment is a few dozen bytes — far below the pipe
-        // buffer — so write-then-close cannot deadlock against the
-        // child's own writes.
-        let assignment = encode_assignment(&Assignment {
-            worker_index,
-            campaign: self.campaign.clone(),
-            grid_fp: self.grid_fp,
-            spec_index,
-            lo: lo as u64,
-            hi: hi as u64,
-        });
-        if let Some(mut stdin) = child.stdin.take() {
-            // A failed write means the child is already gone; collection
-            // will notice and fall back.
-            let _ = stdin.write_all(&assignment);
-        }
-        let Some(mut stdout) = child.stdout.take() else {
-            let _ = child.kill();
-            let _ = child.wait();
-            return Err(ShardError::Io("worker stdout not captured".into()));
-        };
-        let (tx, rx) = mpsc::channel();
-        std::thread::spawn(move || {
-            let mut buf = Vec::new();
-            let result = stdout.read_to_end(&mut buf).map(|_| buf);
-            let _ = tx.send(result);
-        });
-        Ok(Worker::Spawned { child, rx })
-    }
-
-    fn collect_worker(
-        &self,
-        worker: Worker,
-        expected: usize,
-    ) -> Result<Vec<RunRecord>, ShardError> {
-        let Worker::Spawned { mut child, rx } = worker else {
-            return Err(ShardError::Io("worker failed to spawn".into()));
-        };
-        let bytes = match rx.recv_timeout(self.timeout) {
-            Ok(Ok(bytes)) => bytes,
-            Ok(Err(e)) => {
-                let _ = child.kill();
-                let _ = child.wait();
-                return Err(ShardError::Io(e.to_string()));
-            }
-            Err(_) => {
-                let _ = child.kill();
-                let _ = child.wait();
-                self.timed_out_chunks.fetch_add(1, Ordering::Relaxed);
-                return Err(ShardError::Io("worker timed out".into()));
-            }
-        };
-        let status = child.wait()?;
-        if !status.success() {
-            return Err(ShardError::Io(format!("worker exited with {status}")));
-        }
-        decode_results(&bytes, expected)
     }
 
     /// Position of `spec` in the bound campaign grid, by fingerprint.
@@ -713,76 +404,6 @@ mod tests {
     }
 
     #[test]
-    fn assignment_roundtrips() {
-        let a = Assignment {
-            worker_index: 3,
-            campaign: "table2".into(),
-            grid_fp: 0xDEAD_BEEF_CAFE_F00D,
-            spec_index: FLAT_GRID,
-            lo: 64,
-            hi: 128,
-        };
-        assert_eq!(decode_assignment(&encode_assignment(&a)), Ok(a));
-    }
-
-    #[test]
-    fn assignment_rejects_garbage_and_truncation() {
-        assert!(decode_assignment(b"nope").is_err());
-        let a = Assignment {
-            worker_index: 0,
-            campaign: "x".into(),
-            grid_fp: 1,
-            spec_index: 0,
-            lo: 0,
-            hi: 4,
-        };
-        let bytes = encode_assignment(&a);
-        for cut in 0..bytes.len() {
-            assert!(decode_assignment(&bytes[..cut]).is_err(), "cut {cut}");
-        }
-        let mut inverted = encode_assignment(&a);
-        let n = inverted.len();
-        // Swap lo and hi (the last two u64s).
-        inverted[n - 16..].rotate_left(8);
-        assert!(decode_assignment(&inverted).is_err());
-    }
-
-    #[test]
-    fn results_roundtrip_and_reject_wrong_count() {
-        let grid = demo_grid();
-        let records = compute_chunk(&grid, 0, 0, 2).unwrap();
-        let bytes = encode_results(&records);
-        let back = decode_results(&bytes, 2).unwrap();
-        assert_eq!(back, records);
-        assert!(decode_results(&bytes, 3).is_err());
-        for cut in 0..bytes.len() {
-            assert!(decode_results(&bytes[..cut], 2).is_err(), "cut {cut}");
-        }
-    }
-
-    #[test]
-    fn flat_jobs_match_per_spec_jobs() {
-        let grid = demo_grid();
-        let offsets = grid_offsets(&grid);
-        assert_eq!(offsets, vec![0, 3, 5]);
-        for (k, spec) in grid.iter().enumerate() {
-            for i in 0..spec.runs {
-                let flat = flat_job(&grid, &offsets, offsets[k] + i);
-                assert_eq!(flat, spec.run_job(i), "spec {k} run {i}");
-            }
-        }
-    }
-
-    #[test]
-    fn compute_chunk_bounds_checked() {
-        let grid = demo_grid();
-        assert!(compute_chunk(&grid, 0, 0, 4).is_err());
-        assert!(compute_chunk(&grid, 2, 0, 1).is_err());
-        assert!(compute_chunk(&grid, FLAT_GRID, 0, 6).is_err());
-        assert_eq!(compute_chunk(&grid, FLAT_GRID, 0, 5).unwrap().len(), 5);
-    }
-
-    #[test]
     fn registry_lookup() {
         let r = registry();
         assert!(r.derive("demo").is_some());
@@ -811,25 +432,5 @@ mod tests {
         assert_eq!(records.len(), 2);
         assert_eq!(records[0], foreign.run_job(0));
         assert!(exec.fallback_chunks() > 0);
-    }
-
-    #[test]
-    fn kill_list_parses() {
-        std::env::set_var(KILL_ENV, "1, 3");
-        assert!(!kill_requested(0));
-        assert!(kill_requested(1));
-        assert!(kill_requested(3));
-        std::env::remove_var(KILL_ENV);
-        assert!(!kill_requested(1));
-    }
-
-    #[test]
-    fn hang_list_parses() {
-        std::env::set_var(HANG_ENV, "0,2");
-        assert!(hang_requested(0));
-        assert!(!hang_requested(1));
-        assert!(hang_requested(2));
-        std::env::remove_var(HANG_ENV);
-        assert!(!hang_requested(0));
     }
 }

@@ -1,0 +1,139 @@
+//! Campaign-as-a-service walkthrough (DESIGN.md §14): boot socket
+//! workers, serve campaigns over HTTP, submit one, verify the stream.
+//!
+//! The binary plays every role in turn. Re-exec'd with `--shard-listen`
+//! it becomes a socket worker; otherwise it binds a worker-registration
+//! control port, spawns `--workers` worker processes, starts the
+//! campaign server on `--addr`, submits the Table II campaign to itself
+//! through the HTTP client (with the OBU poll path's retry policy), and
+//! checks the returned result stream is byte-identical to a plain
+//! serial loop before printing anything.
+//!
+//! ```sh
+//! cargo run -p campaignd --example campaign_server --release -- --workers 2 --addr 127.0.0.1:0
+//! ```
+
+use campaignd::{client, CampaignServer, WorkerPool};
+use its_testbed::campaign::{grid_fingerprint, CampaignSpec, Executor, Serial};
+use its_testbed::scenario::ScenarioConfig;
+use its_testbed::submission::CampaignSubmission;
+use openc2x::http::RetryPolicy;
+use shard::protocol::encode_results;
+use std::time::Duration;
+
+const RUNS: usize = 24;
+
+fn base() -> ScenarioConfig {
+    ScenarioConfig {
+        seed: 42,
+        ..ScenarioConfig::default()
+    }
+}
+
+fn table2_grid() -> Vec<CampaignSpec> {
+    vec![CampaignSpec::new(base(), RUNS)]
+}
+
+/// A small multi-spec sweep (cruise speed × seeds) to show a flattened
+/// grid crossing the server.
+fn city_sweep_grid() -> Vec<CampaignSpec> {
+    [4.0f64, 6.0, 8.0]
+        .iter()
+        .map(|&v| {
+            CampaignSpec::new(
+                ScenarioConfig {
+                    seed: 42,
+                    cruise_speed_mps: v,
+                    ..ScenarioConfig::default()
+                },
+                4,
+            )
+        })
+        .collect()
+}
+
+fn registry() -> its_testbed::campaign::CampaignRegistry {
+    its_testbed::campaign::CampaignRegistry::new()
+        .register("table2", table2_grid)
+        .register("city_sweep", city_sweep_grid)
+}
+
+fn flag(name: &str, default: &str) -> String {
+    let mut it = std::env::args();
+    while let Some(arg) = it.next() {
+        if arg == name {
+            return it.next().unwrap_or_default();
+        }
+        if let Some(v) = arg.strip_prefix(&format!("{name}=")) {
+            return v.to_owned();
+        }
+    }
+    default.to_owned()
+}
+
+fn main() {
+    let registry = registry();
+    // Re-exec'd children enter socket-worker mode here and never return.
+    campaignd::socket_worker_main_if_requested(&registry);
+
+    let workers: usize = match flag("--workers", "2").parse() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("--workers: expected a number");
+            std::process::exit(2);
+        }
+    };
+    let addr = flag("--addr", "127.0.0.1:0");
+
+    let pool = WorkerPool::bind().expect("bind worker control port");
+    let procs =
+        campaignd::spawn_socket_workers(workers, pool.ctrl_addr()).expect("spawn socket workers");
+    if !pool.wait_for(workers, Duration::from_secs(30)) {
+        eprintln!("campaign_server: workers failed to register in time");
+        std::process::exit(1);
+    }
+
+    let server = CampaignServer::new(registry)
+        .with_workers(pool.workers())
+        .serve(&addr)
+        .expect("bind campaign server");
+    println!(
+        "campaign server on http://{} with {} socket worker(s)",
+        server.addr(),
+        workers
+    );
+    println!(
+        "campaigns on offer: {}",
+        client::list_campaigns(server.addr())
+            .expect("list campaigns")
+            .join(", ")
+    );
+
+    // Submit Table II through the HTTP front door, retrying like the
+    // OBU's DENM poll does while the server warms up.
+    let grid = table2_grid();
+    let submission = CampaignSubmission::for_grid("table2", &grid);
+    println!(
+        "submitting `table2`: {} runs, grid fingerprint {:#018x}",
+        submission.runs,
+        grid_fingerprint(&grid)
+    );
+    let records =
+        client::submit_with_retry(server.addr(), "table2", &grid, &RetryPolicy::default())
+            .expect("submit table2");
+
+    let serial: Vec<_> = Serial.execute_grid(&grid).into_iter().flatten().collect();
+    let identical = encode_results(&records) == encode_results(&serial);
+    println!(
+        "served stream bitwise identical to serial: {identical} \
+         ({} chunk(s) re-executed in-process)",
+        server.fallback_chunks()
+    );
+
+    drop(procs);
+    server.shutdown();
+    if !identical {
+        eprintln!("campaign_server: served stream diverged from serial");
+        std::process::exit(1);
+    }
+}

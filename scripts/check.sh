@@ -46,6 +46,15 @@ cargo run -q -p detlint -- --quiet --format json | tee target/detlint.json >/dev
 echo "==> shard smoke (distributed_campaign, 2 workers)"
 cargo run -q -p shard --example distributed_campaign --release -- --shard-workers 2 >/dev/null
 
+# Campaign-server smoke: boot 2 re-exec'd socket workers and the HTTP
+# campaign server, submit Table II through the client, and diff the
+# served stream against the in-example serial reference — the example
+# exits non-zero if the bytes diverge (tests/campaignd_determinism.rs
+# is the full tier-1 matrix; this proves the socket + HTTP path works
+# in the checked-out tree).
+echo "==> campaign-server smoke (campaign_server, 2 workers)"
+cargo run -q -p campaignd --example campaign_server --release -- --workers 2 >/dev/null
+
 # Fault-campaign smoke: the fault class × intensity sweep with the V2X
 # watchdog enabled (DESIGN.md §11). The example runs the grid serially
 # and on the thread runner and exits non-zero if the two tables are not

@@ -1,0 +1,242 @@
+//! Tier-1 regression test for the campaign server (DESIGN.md §14):
+//! table2, table3 and a multi-spec city-style sweep submitted over
+//! loopback HTTP produce **byte-identical** result streams to a plain
+//! serial loop at 1/2/4 re-exec'd socket workers — and stay identical
+//! when workers are killed mid-chunk, when they hang until the
+//! per-chunk timeout reaps their connection, and when two clients
+//! submit concurrently. Queue overflow answers a deterministic 503.
+//!
+//! `harness = false`: the server spawns this very binary as its socket
+//! workers, so `main` must dispatch `--shard-listen` before anything
+//! else instead of handing control to libtest.
+
+use campaignd::{client, CampaignServer, WorkerPool};
+use its_testbed::campaign::{CampaignRegistry, CampaignSpec, Executor, Serial};
+use its_testbed::scenario::ScenarioConfig;
+use its_testbed::submission::{encode_submission, CampaignSubmission};
+use its_testbed::RunRecord;
+use shard::protocol::encode_results;
+use shard::KILL_ENV;
+use std::time::Duration;
+
+/// Runs per table campaign: enough that 4 workers each get a multi-run
+/// chunk.
+const RUNS: usize = 24;
+
+fn base() -> ScenarioConfig {
+    ScenarioConfig {
+        seed: 5000,
+        ..ScenarioConfig::default()
+    }
+}
+
+fn table2_grid() -> Vec<CampaignSpec> {
+    vec![CampaignSpec::new(base(), RUNS)]
+}
+
+fn table3_grid() -> Vec<CampaignSpec> {
+    vec![CampaignSpec::with_seed_offset(base(), 1000, RUNS)]
+}
+
+/// A city-style multi-spec sweep: cruise speed × 4 seeds each, so the
+/// flattened grid crosses spec boundaries inside worker chunks.
+fn city_sweep_grid() -> Vec<CampaignSpec> {
+    [4.0f64, 6.0, 8.0]
+        .iter()
+        .map(|&v| {
+            CampaignSpec::new(
+                ScenarioConfig {
+                    seed: 5000,
+                    cruise_speed_mps: v,
+                    ..ScenarioConfig::default()
+                },
+                4,
+            )
+        })
+        .collect()
+}
+
+fn registry() -> CampaignRegistry {
+    CampaignRegistry::new()
+        .register("table2", table2_grid)
+        .register("table3", table3_grid)
+        .register("city_sweep", city_sweep_grid)
+}
+
+const CAMPAIGNS: [(&str, fn() -> Vec<CampaignSpec>); 3] = [
+    ("table2", table2_grid),
+    ("table3", table3_grid),
+    ("city_sweep", city_sweep_grid),
+];
+
+fn serial_stream(grid: &[CampaignSpec]) -> Vec<u8> {
+    let flat: Vec<RunRecord> = Serial.execute_grid(grid).into_iter().flatten().collect();
+    encode_results(&flat)
+}
+
+fn check(name: &str, ok: bool, failures: &mut usize) {
+    if ok {
+        println!("ok   {name}");
+    } else {
+        println!("FAIL {name}");
+        *failures += 1;
+    }
+}
+
+/// Boots `n` re-exec'd socket workers and a server over them.
+fn boot(n: usize) -> (campaignd::WorkerProcs, campaignd::RunningCampaignServer) {
+    let pool = WorkerPool::bind().expect("bind worker control port");
+    let procs = campaignd::spawn_socket_workers(n, pool.ctrl_addr()).expect("spawn workers");
+    assert!(
+        pool.wait_for(n, Duration::from_secs(30)),
+        "{n} workers failed to register"
+    );
+    let server = CampaignServer::new(registry())
+        .with_workers(pool.workers())
+        .with_timeout(Duration::from_secs(300))
+        .serve("127.0.0.1:0")
+        .expect("bind campaign server");
+    (procs, server)
+}
+
+fn main() {
+    let registry = registry();
+    // Re-exec'd children take this exit and never reach the assertions.
+    campaignd::socket_worker_main_if_requested(&registry);
+
+    let mut failures = 0usize;
+
+    // Reference streams from the plain serial loop.
+    let serial: Vec<(&str, Vec<u8>)> = CAMPAIGNS
+        .iter()
+        .map(|&(name, grid)| (name, serial_stream(&grid())))
+        .collect();
+
+    // The server's catalogue is the registry, in registration order.
+    {
+        let (procs, server) = boot(1);
+        let names = client::list_campaigns(server.addr()).expect("list campaigns");
+        check(
+            "GET /campaigns lists the registry in order",
+            names == vec!["table2", "table3", "city_sweep"],
+            &mut failures,
+        );
+        drop(procs);
+        server.shutdown();
+    }
+
+    // Byte identity at every worker count: the raw HTTP body must equal
+    // the serial result stream, with no chunk falling back in-process.
+    for workers in [1usize, 2, 4] {
+        let (procs, server) = boot(workers);
+        for (name, expected) in &serial {
+            let grid = registry.derive(name).expect("registered");
+            let frame = encode_submission(&CampaignSubmission::for_grid(name, &grid));
+            let resp = client::submit_raw(server.addr(), &frame).expect("submit");
+            check(
+                &format!("{name}: {workers}-worker server streams serial bytes"),
+                resp.status == 200 && &resp.body == expected,
+                &mut failures,
+            );
+        }
+        check(
+            &format!("{workers}-worker server took no fallback"),
+            server.fallback_chunks() == 0,
+            &mut failures,
+        );
+        drop(procs);
+        server.shutdown();
+    }
+
+    // Kill injection: chunks 0 and 2 of 4 die mid-chunk (result magic
+    // written, records missing, connection dropped). The server must
+    // detect both truncations, re-run those chunks in-process, and
+    // still stream the exact serial bytes. Workers inherit the
+    // environment at spawn, so the variable is set before boot.
+    std::env::set_var(KILL_ENV, "0,2");
+    {
+        let (procs, server) = boot(4);
+        let grid = table2_grid();
+        let frame = encode_submission(&CampaignSubmission::for_grid("table2", &grid));
+        let resp = client::submit_raw(server.addr(), &frame).expect("submit");
+        check(
+            "table2: 4-worker server with killed chunks 0,2 streams serial bytes",
+            resp.status == 200 && resp.body == serial_stream(&grid),
+            &mut failures,
+        );
+        check(
+            "kill injection actually exercised the fallback",
+            server.fallback_chunks() == 2,
+            &mut failures,
+        );
+        drop(procs);
+        server.shutdown();
+    }
+    std::env::remove_var(KILL_ENV);
+
+    // Two concurrent clients: submissions are queued FIFO and executed
+    // one at a time, so each client's stream is complete, unmixed, and
+    // byte-identical to its own serial reference.
+    {
+        let (procs, server) = boot(2);
+        let addr = server.addr();
+        let handles: Vec<_> = [("table2", table2_grid()), ("table3", table3_grid())]
+            .into_iter()
+            .map(|(name, grid)| {
+                std::thread::spawn(move || {
+                    let expected = serial_stream(&grid);
+                    let frame = encode_submission(&CampaignSubmission::for_grid(name, &grid));
+                    (0..3).all(|_| {
+                        let resp = client::submit_raw(addr, &frame).expect("submit");
+                        resp.status == 200 && resp.body == expected
+                    })
+                })
+            })
+            .collect();
+        let all_ok = handles
+            .into_iter()
+            .all(|h| h.join().expect("client thread"));
+        check(
+            "two concurrent clients each get their own serial bytes, thrice",
+            all_ok,
+            &mut failures,
+        );
+        drop(procs);
+        server.shutdown();
+    }
+
+    // Queue overflow: a zero-depth queue refuses every submission with
+    // a deterministic 503, and the retry client surfaces it after its
+    // backoff schedule is exhausted.
+    {
+        let server = CampaignServer::new(registry.clone())
+            .with_queue_depth(0)
+            .serve("127.0.0.1:0")
+            .expect("bind campaign server");
+        let grid = table2_grid();
+        let err = client::submit(server.addr(), "table2", &grid).unwrap_err();
+        check(
+            "zero queue depth answers 503",
+            matches!(err, client::SubmitError::Status(503, _)),
+            &mut failures,
+        );
+        let policy = openc2x::http::RetryPolicy {
+            max_attempts: 2,
+            backoff_base: sim_core::SimDuration::from_millis(1),
+            ..openc2x::http::RetryPolicy::default()
+        };
+        let err = client::submit_with_retry(server.addr(), "table2", &grid, &policy).unwrap_err();
+        check(
+            "submit_with_retry exhausts its attempts against a full queue",
+            matches!(err, client::SubmitError::Status(503, _)),
+            &mut failures,
+        );
+        server.shutdown();
+    }
+
+    if failures > 0 {
+        eprintln!("campaignd_determinism: {failures} check(s) failed");
+        std::process::exit(1);
+    }
+    println!("campaignd_determinism: all checks passed");
+}

@@ -11,7 +11,7 @@
 //! identical bytes. Worker count, worker death, and worker order
 //! therefore never change a single output byte.
 
-use its_testbed::campaign::{grid_fingerprint, CampaignSpec};
+use its_testbed::campaign::{grid_fingerprint, CampaignSpec, Executor};
 use its_testbed::RunRecord;
 use shard::protocol::{compute_chunk, encode_assignment, grid_offsets, Assignment, FLAT_GRID};
 use shard::transport::{collect_chunk, ChunkFailure, FrameTransport, TcpTransport};
@@ -136,10 +136,89 @@ impl SocketFanout {
     }
 }
 
+/// Socket workers as a first-class [`Executor`]: the campaign-side
+/// counterpart of `shard::ShardExecutor`, binding one campaign grid and
+/// fanning matching submissions over [`SocketFanout`]'s TCP links.
+///
+/// The executor contract is inherited from the fanout: a grid whose
+/// fingerprint matches the bound campaign runs across the workers and
+/// merges byte-identically to [`its_testbed::campaign::Serial`]; any
+/// other grid (which the workers could not re-derive, so every chunk
+/// would be refused) is computed locally — degraded, never wrong.
+/// `run_indexed` keeps the trait's deterministic serial default:
+/// arbitrary closures cannot be shipped to worker processes, so
+/// non-spec sweeps (the city benchmark, the cooperative fault sweep)
+/// run in-process with unchanged bytes.
+#[derive(Debug)]
+pub struct FanoutExecutor {
+    campaign: String,
+    grid: Vec<CampaignSpec>,
+    grid_fp: u64,
+    workers: Vec<SocketAddr>,
+    timeout: Duration,
+    fallback_grids: AtomicUsize,
+}
+
+impl FanoutExecutor {
+    /// Binds `campaign`'s derived `grid` to the given socket `workers`.
+    pub fn new(campaign: &str, grid: Vec<CampaignSpec>, workers: Vec<SocketAddr>) -> Self {
+        let grid_fp = grid_fingerprint(&grid);
+        Self {
+            campaign: campaign.to_owned(),
+            grid,
+            grid_fp,
+            workers,
+            timeout: Duration::from_secs(120),
+            fallback_grids: AtomicUsize::new(0),
+        }
+    }
+
+    /// Replaces the per-chunk result timeout (default 120 s).
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Grids executed locally because they were not the bound campaign.
+    pub fn fallback_grids(&self) -> usize {
+        self.fallback_grids.load(Ordering::Relaxed)
+    }
+}
+
+impl Executor for FanoutExecutor {
+    fn execute(&self, spec: &CampaignSpec) -> Vec<RunRecord> {
+        // A lone spec is addressable over the flat-grid protocol only
+        // when it *is* the bound grid.
+        self.execute_grid(std::slice::from_ref(spec))
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn execute_grid(&self, specs: &[CampaignSpec]) -> Vec<Vec<RunRecord>> {
+        let flat = if grid_fingerprint(specs) == self.grid_fp {
+            SocketFanout::new(&self.campaign, self.grid.clone())
+                .with_timeout(self.timeout)
+                .run_flat(&self.workers)
+        } else {
+            self.fallback_grids.fetch_add(1, Ordering::Relaxed);
+            let offsets = grid_offsets(specs);
+            (0..offsets.last().copied().unwrap_or(0))
+                .map(|j| shard::protocol::flat_job(specs, &offsets, j))
+                .collect()
+        };
+        let mut records = flat.into_iter();
+        specs
+            .iter()
+            .map(|spec| records.by_ref().take(spec.runs).collect())
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use its_testbed::campaign::{CampaignRegistry, Executor, Serial};
+    use its_testbed::campaign::{CampaignRegistry, Serial};
     use its_testbed::ScenarioConfig;
     use shard::transport::serve_connections;
     use std::net::TcpListener;
@@ -208,6 +287,27 @@ mod tests {
         assert_eq!(fanout.run_flat(&[live, dead]), serial_flat());
         assert_eq!(fanout.fallback_chunks(), 1);
         assert_eq!(fanout.timed_out_chunks(), 0);
+    }
+
+    #[test]
+    fn fanout_executor_matches_serial_over_workers() {
+        let workers: Vec<SocketAddr> = (0..2).map(|_| spawn_worker()).collect();
+        let exec = FanoutExecutor::new("demo", demo_grid(), workers);
+        assert_eq!(
+            exec.execute_grid(&demo_grid()),
+            Serial.execute_grid(&demo_grid())
+        );
+        assert_eq!(exec.fallback_grids(), 0);
+        // A foreign grid is computed locally — identical bytes, counted.
+        let foreign = vec![CampaignSpec::new(
+            ScenarioConfig {
+                seed: 31,
+                ..ScenarioConfig::default()
+            },
+            2,
+        )];
+        assert_eq!(exec.execute_grid(&foreign), Serial.execute_grid(&foreign));
+        assert_eq!(exec.fallback_grids(), 1);
     }
 
     #[test]

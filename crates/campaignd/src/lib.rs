@@ -74,7 +74,7 @@ pub mod pool;
 pub mod queue;
 pub mod server;
 
-pub use fanout::SocketFanout;
+pub use fanout::{FanoutExecutor, SocketFanout};
 pub use pool::WorkerPool;
 pub use queue::SubmissionQueue;
 pub use server::{CampaignServer, RunningCampaignServer};

@@ -30,6 +30,14 @@ pub const FAULT_CLASSES: [&str; 6] = [
 /// The intensity ladder applied to every class.
 pub const INTENSITIES: [f64; 3] = [0.25, 0.5, 1.0];
 
+/// Node-targeted fault classes for the cooperative scenarios
+/// (DESIGN.md §15). [`plan_for`] understands these in addition to
+/// [`FAULT_CLASSES`]; they are kept out of the classic collision
+/// avoidance grid because they name nodes that scenario does not have
+/// (platoon members) or silence deterministically rather than
+/// stochastically.
+pub const NODE_FAULT_CLASSES: [&str; 3] = ["leader_silence", "member_crash", "rsu_silence"];
+
 /// One aggregated grid cell: a fault class at one intensity.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultSweepRow {
@@ -89,6 +97,39 @@ pub fn plan_for(class: &str, intensity: f64) -> FaultPlan {
             .during(FaultWindow::new(
                 SimTime::from_secs(1),
                 SimTime::from_millis(1000 + len_ms),
+            ))]);
+        }
+        // Node-targeted classes (NODE_FAULT_CLASSES): intensity scales
+        // the outage window, starting at t = 0 so the fault covers both
+        // the DENM instant and the start of the heartbeat relay.
+        "leader_silence" => {
+            let len_ms = (intensity * 40_000.0) as u64;
+            return FaultPlan::new(vec![FaultKind::StuckTransmitter {
+                node: FaultNode::Platoon(0),
+            }
+            .during(FaultWindow::new(
+                SimTime::ZERO,
+                SimTime::from_millis(len_ms),
+            ))]);
+        }
+        "member_crash" => {
+            let len_ms = (intensity * 40_000.0) as u64;
+            return FaultPlan::new(vec![FaultKind::NodeCrash {
+                node: FaultNode::Platoon(1),
+            }
+            .during(FaultWindow::new(
+                SimTime::ZERO,
+                SimTime::from_millis(len_ms),
+            ))]);
+        }
+        "rsu_silence" => {
+            let len_ms = (intensity * 4000.0) as u64;
+            return FaultPlan::new(vec![FaultKind::StuckTransmitter {
+                node: FaultNode::Rsu,
+            }
+            .during(FaultWindow::new(
+                SimTime::ZERO,
+                SimTime::from_millis(len_ms),
             ))]);
         }
         other => panic!("unknown fault class {other}"),
@@ -258,5 +299,20 @@ mod tests {
     #[should_panic(expected = "unknown fault class")]
     fn unknown_class_panics() {
         let _ = plan_for("gremlins", 0.5);
+    }
+
+    #[test]
+    fn node_targeted_classes_produce_windowed_plans() {
+        for class in NODE_FAULT_CLASSES {
+            for intensity in INTENSITIES {
+                let plan = plan_for(class, intensity);
+                assert!(!plan.is_empty(), "{class} @ {intensity}");
+            }
+            // Node-targeted outages are deterministic: the injector
+            // never draws, so two evaluations agree exactly.
+            let a = plan_for(class, 0.5);
+            let b = plan_for(class, 0.5);
+            assert_eq!(a.faults.len(), b.faults.len());
+        }
     }
 }

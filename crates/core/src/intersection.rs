@@ -12,7 +12,10 @@
 //! roles "for convenience"; this module implements the full two-vehicle
 //! arrangement.)
 
-use its_messages::common::ReferencePosition;
+use facilities::cpm::{CpService, CpServiceConfig, Cpm, CpmPerceivedObject, ObjectClass};
+use facilities::ldm::PerceivedObject;
+use faults::{FaultInjector, FaultNode, FaultPlan, FaultStats};
+use its_messages::common::{ReferencePosition, StationType};
 use openc2x::node::{lab_to_geo, ItsStation, PollingModel, StationConfig};
 use perception::camera::{GroundTruthTarget, RoadSideCamera, TargetAppearance};
 use perception::detector::YoloModel;
@@ -30,6 +33,36 @@ use its_messages::common::StationId;
 
 /// Geographic anchor of the intersection (the conflict point).
 const GEO_ORIGIN: (f64, f64) = (41.178, -8.608);
+
+/// A second, simultaneous hazard: a stalled obstacle on the
+/// protagonist's exit leg, just past the blind corner. The road-side
+/// camera sees it from the start; the protagonist's own forward sensor
+/// only picks it up once the corner building no longer occludes it —
+/// far inside its braking distance. Only cooperative perception (the
+/// RSU's CPMs) warns the protagonist early enough to stop clear.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SecondHazard {
+    /// Obstacle position past the conflict point along the
+    /// protagonist's leg, m.
+    pub past_crossing_m: f64,
+    /// Range of the protagonist's own forward sensing once it rounds
+    /// the corner, m. Deliberately shorter than a braking distance:
+    /// the blind corner is what makes the hazard a hazard.
+    pub own_sensor_range_m: f64,
+    /// Distance at which the protagonist brakes for an obstacle it
+    /// knows about through a CPM, m.
+    pub coop_brake_range_m: f64,
+}
+
+impl Default for SecondHazard {
+    fn default() -> Self {
+        Self {
+            past_crossing_m: 1.0,
+            own_sensor_range_m: 0.4,
+            coop_brake_range_m: 2.5,
+        }
+    }
+}
 
 /// Configuration of the two-vehicle intersection scenario.
 #[derive(Debug, Clone)]
@@ -72,6 +105,18 @@ pub struct IntersectionConfig {
     pub control_period: SimDuration,
     /// Give-up horizon.
     pub timeout: SimDuration,
+    /// Fault schedule for the run. The default (empty) plan is a
+    /// strict no-op: the injector draws no randomness and changes no
+    /// control flow, so faultless runs stay byte-identical.
+    pub fault_plan: FaultPlan,
+    /// Collective perception: `Some` makes the RSU package its camera
+    /// detections as CPMs that extend the protagonist's LDM beyond its
+    /// own sensors; `None` (the default) leaves the baseline event
+    /// schedule and RNG sequence untouched.
+    pub cpm: Option<CpServiceConfig>,
+    /// The blind-corner second hazard. `None` (the default) keeps the
+    /// classic single-hazard geometry.
+    pub second_hazard: Option<SecondHazard>,
 }
 
 impl Default for IntersectionConfig {
@@ -97,6 +142,9 @@ impl Default for IntersectionConfig {
             vehicle: VehicleParams::default(),
             control_period: SimDuration::from_millis(20),
             timeout: SimDuration::from_secs(30),
+            fault_plan: FaultPlan::default(),
+            cpm: None,
+            second_hazard: None,
         }
     }
 }
@@ -119,6 +167,21 @@ pub struct IntersectionRecord {
     pub min_separation_m: f64,
     /// Whether the run ended in a collision.
     pub collision: bool,
+    /// CPMs the RSU generated.
+    pub cpm_sent: u64,
+    /// CPMs the protagonist's OBU decoded.
+    pub cpm_delivered: u64,
+    /// Perceived objects that entered the protagonist's LDM via CPM
+    /// while beyond its own sensor range — the cooperative-perception
+    /// payoff counter.
+    pub cpm_extended_detections: u64,
+    /// The protagonist braked for the second hazard.
+    pub second_hazard_braked: bool,
+    /// That braking decision came from a CPM-known obstacle, not the
+    /// protagonist's own (too-late) sensor.
+    pub second_hazard_via_cpm: bool,
+    /// Fault-injection counters for the run.
+    pub fault: FaultStats,
     /// Event trace.
     pub trace: Trace,
 }
@@ -144,6 +207,11 @@ pub enum Event {
     VehiclePoll,
     /// Poll response reaches the control logic: cut power.
     PowerCut,
+    /// A CPM frame arrives at the protagonist's OBU.
+    CpmRx {
+        /// UPER bytes of the CPM (possibly corrupted on the air).
+        bytes: Vec<u8>,
+    },
 }
 
 /// The assembled intersection scenario.
@@ -162,6 +230,12 @@ pub struct IntersectionScenario {
     denm_pending: bool,
     denm_triggered: bool,
     poll_phase: SimDuration,
+    // Fault plane + cooperative perception.
+    injector: FaultInjector,
+    cp: Option<CpService>,
+    rsu_ref: ReferencePosition,
+    rsu_obstacle_est: Option<f64>,
+    obstacle_known: Option<SimTime>,
     record: IntersectionRecord,
     done: bool,
 }
@@ -212,6 +286,20 @@ impl IntersectionScenario {
         let mut road_user = LongitudinalModel::new(config.vehicle);
         road_user.set_speed(config.road_user_speed_mps);
 
+        // Forking is draw-free on the parent, so carving out the fault
+        // stream leaves the legacy "clocks"/"run" sequences untouched —
+        // the empty-plan no-op invariant.
+        let injector = FaultInjector::new(config.fault_plan.clone(), root.fork("faults"));
+        let cp = config.cpm.map(|cfg| {
+            CpService::new(
+                StationId::new(15).expect("static id"), // detlint:allow(S3) static id 15 is always in the station-id range
+                StationType::RoadSideUnit,
+                cfg,
+            )
+        });
+        let (rsu_lat, rsu_lon) = lab_to_geo(GEO_ORIGIN, rsu.position());
+        let rsu_ref = ReferencePosition::from_degrees(rsu_lat, rsu_lon);
+
         Self {
             channel: Channel::new(channel_cfg),
             medium: Medium::new(),
@@ -225,6 +313,11 @@ impl IntersectionScenario {
             denm_pending: false,
             denm_triggered: false,
             poll_phase,
+            injector,
+            cp,
+            rsu_ref,
+            rsu_obstacle_est: None,
+            obstacle_known: None,
             record: IntersectionRecord {
                 min_separation_m: f64::INFINITY,
                 ..IntersectionRecord::default()
@@ -275,6 +368,7 @@ impl IntersectionScenario {
         // to the serial loop (see `sim_core::run_batched`).
         let mut batch = Vec::with_capacity(8);
         run_batched(&mut self, &mut queue, timeout, &mut batch);
+        self.record.fault = self.injector.stats();
         self.record
     }
 
@@ -316,6 +410,45 @@ impl IntersectionScenario {
             );
         }
 
+        // Second hazard: the stalled obstacle past the corner. The
+        // protagonist brakes early for a CPM-known obstacle, late (and
+        // usually too late) on its own corner-occluded sensor.
+        if let Some(h) = self.config.second_hazard {
+            let gap = self.protagonist_distance() + h.past_crossing_m;
+            if self.throttle_on {
+                let via_own = gap <= h.own_sensor_range_m;
+                let via_cpm = self.obstacle_known.is_some() && gap <= h.coop_brake_range_m;
+                if via_own || via_cpm {
+                    self.throttle_on = false;
+                    self.planner.force_stop();
+                    self.record.second_hazard_braked = true;
+                    self.record.second_hazard_via_cpm = via_cpm && !via_own;
+                    self.record.trace.record_fmt(
+                        now,
+                        "ecu",
+                        "obstacle_brake",
+                        format_args!(
+                            "gap {gap:.2} m via {}",
+                            if via_cpm && !via_own {
+                                "cpm"
+                            } else {
+                                "own sensor"
+                            }
+                        ),
+                    );
+                }
+            }
+            if gap <= self.config.collision_distance_m && !self.record.collision {
+                self.record.collision = true;
+                self.record.trace.record_fmt(
+                    now,
+                    "world",
+                    "collision",
+                    format_args!("obstacle gap {gap:.2} m"),
+                );
+            }
+        }
+
         // End when the road user has cleared the crossing and either the
         // protagonist stopped or also cleared it.
         let ru_cleared = self.road_user_distance() < -2.0;
@@ -330,24 +463,41 @@ impl IntersectionScenario {
         self.obu.set_motion(self.protagonist.speed_mps(), 270.0);
         if self.config.with_infrastructure {
             if let Ok(Some(cam_packet)) = self.obu.poll_cam(now) {
-                let bytes = cam_packet.to_bytes();
-                let start = self
-                    .obu
-                    .channel_access(now, &cam_packet, &self.medium, &mut self.rng);
-                let at = airtime(bytes.len(), self.obu.config().data_rate);
-                self.medium.occupy(start + at);
-                let outcome = self.channel.transmit(
-                    start,
-                    self.obu.position(),
-                    self.rsu.position(),
-                    bytes.len(),
-                    self.obu.config().data_rate,
-                    &mut self.rng,
-                );
-                if outcome.delivered {
-                    // Lab-scale link to the LoS RSU: deliver directly.
-                    if let Ok(packet) = geonet::GnPacket::from_bytes(&bytes) {
-                        self.rsu.on_packet(outcome.arrival.max(now), &packet);
+                // Fault plane: a silenced OBU transmitter (or crashed
+                // OBU) keeps the CAM off the air; the CA service already
+                // consumed its cadence, so the next CAM is unaffected.
+                let lost = self.injector.node_down(now, FaultNode::Obu)
+                    || self.injector.radio_drop(now, FaultNode::Obu);
+                if !lost {
+                    let bytes = cam_packet.to_bytes();
+                    let start =
+                        self.obu
+                            .channel_access(now, &cam_packet, &self.medium, &mut self.rng);
+                    let at = airtime(bytes.len(), self.obu.config().data_rate);
+                    self.medium.occupy(start + at);
+                    let outcome = self.channel.transmit(
+                        start,
+                        self.obu.position(),
+                        self.rsu.position(),
+                        bytes.len(),
+                        self.obu.config().data_rate,
+                        &mut self.rng,
+                    );
+                    if outcome.delivered && !self.injector.node_down(now, FaultNode::Rsu) {
+                        // Bit corruption mutates the on-air frame; the
+                        // real GeoNetworking decoder rejects (or
+                        // survives) the result.
+                        let wire = match self.injector.corrupt_frame(now, &bytes) {
+                            Some(corrupted) => corrupted,
+                            None => bytes,
+                        };
+                        // Lab-scale link to the LoS RSU: deliver directly.
+                        match geonet::GnPacket::from_bytes(&wire) {
+                            Ok(packet) => {
+                                self.rsu.on_packet(outcome.arrival.max(now), &packet);
+                            }
+                            Err(_) => self.injector.note_rejected(),
+                        }
                     }
                 }
             }
@@ -359,9 +509,14 @@ impl IntersectionScenario {
     }
 
     fn on_camera_frame(&mut self, now: SimTime, queue: &mut EventQueue<Event>) {
+        // Fault plane: a crashed edge host or a dropped frame skips this
+        // period's processing entirely; the camera cadence is untouched.
+        let frame_lost =
+            self.injector.node_down(now, FaultNode::Edge) || self.injector.drop_camera_frame(now);
         // The camera watches the road user's leg (+y).
         let distance = self.road_user_distance();
-        if distance > 0.0 {
+        let mut road_user_seen = false;
+        if !frame_lost && distance > 0.0 {
             let target = GroundTruthTarget {
                 id: 2,
                 distance_m: distance,
@@ -369,6 +524,7 @@ impl IntersectionScenario {
                 appearance: TargetAppearance::WithStopSign,
             };
             if self.config.camera.sees(&target) {
+                road_user_seen = true;
                 let inference = self.rng.normal(0.18, 0.02).clamp(0.05, 0.249);
                 let detections = self.config.yolo.process_frame(
                     now,
@@ -376,21 +532,170 @@ impl IntersectionScenario {
                     &mut self.rng,
                 );
                 if let Some(d) = detections.first() {
-                    queue.schedule_after(
-                        now,
-                        SimDuration::from_secs_f64(inference),
-                        Event::DetectionOutput {
-                            estimated_distance_m: d.estimated_distance_m,
-                        },
-                    );
+                    // Detector-miss faults discard the output *after*
+                    // the legacy RNG draws, so the faultless sequence is
+                    // untouched.
+                    if !self.injector.drop_detection(now) {
+                        queue.schedule_after(
+                            now,
+                            SimDuration::from_secs_f64(inference),
+                            Event::DetectionOutput {
+                                estimated_distance_m: d.estimated_distance_m,
+                            },
+                        );
+                    }
                 }
             }
+        }
+        if !frame_lost {
+            // A hallucinated detection feeds the hazard service a target
+            // that is not there (drawn from the injector's own stream).
+            if let Some((phantom_m, _confidence)) = self.injector.phantom_detection(now) {
+                queue.schedule_after(
+                    now,
+                    SimDuration::from_millis(180),
+                    Event::DetectionOutput {
+                        estimated_distance_m: phantom_m,
+                    },
+                );
+            }
+            self.generate_cpm(now, road_user_seen, distance, queue);
         }
         if !self.done {
             queue.schedule_at(
                 self.config.camera.next_frame_completion(now),
                 Event::CameraFrame,
             );
+        }
+    }
+
+    /// Collective perception: the RSU packages what its camera currently
+    /// sees as a CPM and broadcasts it toward the protagonist. Object
+    /// geometry is the ground truth the camera model already vetted, so
+    /// building the message draws no randomness — with `cpm: None`
+    /// (the default) this method returns before touching `self.rng` and
+    /// the legacy event/RNG sequence is byte-identical.
+    fn generate_cpm(
+        &mut self,
+        now: SimTime,
+        road_user_seen: bool,
+        road_user_distance: f64,
+        queue: &mut EventQueue<Event>,
+    ) {
+        let Some(cp) = self.cp.as_mut() else {
+            return;
+        };
+        let rsu_pos = self.rsu.position();
+        let mut objects = Vec::with_capacity(2);
+        if road_user_seen {
+            objects.push(CpmPerceivedObject::from_planar(
+                2,
+                0.0 - rsu_pos.x,
+                road_user_distance - rsu_pos.y,
+                ObjectClass::Person,
+                85,
+            ));
+        }
+        if let Some(h) = self.config.second_hazard {
+            // The stalled obstacle on the protagonist's exit leg; the
+            // elevated camera always has line of sight to it.
+            objects.push(CpmPerceivedObject::from_planar(
+                3,
+                -h.past_crossing_m - rsu_pos.x,
+                0.0 - rsu_pos.y,
+                ObjectClass::Obstacle,
+                92,
+            ));
+        }
+        let Some(cpm) = cp.poll(now, self.rsu_ref, &objects) else {
+            return;
+        };
+        let Ok(bytes) = cpm.to_bytes() else {
+            return; // from_planar saturates, so the encode cannot fail
+        };
+        self.record.cpm_sent += 1;
+        // Fault plane: a crashed or silenced RSU keeps the CPM off the
+        // air (the CP service already consumed its cadence).
+        if self.injector.node_down(now, FaultNode::Rsu)
+            || self.injector.radio_drop(now, FaultNode::Rsu)
+        {
+            return;
+        }
+        let outcome = self.channel.transmit(
+            now,
+            rsu_pos,
+            self.obu.position(),
+            bytes.len(),
+            self.rsu.config().data_rate,
+            &mut self.rng,
+        );
+        if outcome.delivered {
+            let wire = match self.injector.corrupt_frame(now, &bytes) {
+                Some(corrupted) => corrupted,
+                None => bytes,
+            };
+            queue.schedule_at(outcome.arrival.max(now), Event::CpmRx { bytes: wire });
+        }
+    }
+
+    /// A CPM frame reaches the protagonist's OBU: decode it and fold the
+    /// carried objects into the OBU's LDM. Objects beyond the
+    /// protagonist's own sensor reach are the cooperative-perception
+    /// payoff; an `Obstacle`-class object arms the second-hazard brake.
+    fn on_cpm_rx(&mut self, now: SimTime, bytes: &[u8]) {
+        // A crashed OBU never decodes the frame.
+        if self.injector.node_down(now, FaultNode::Obu) {
+            return;
+        }
+        let cpm = match Cpm::from_bytes(bytes) {
+            Ok(cpm) => cpm,
+            Err(_) => {
+                // Corrupted on the air and rejected by the real decoder.
+                self.injector.note_rejected();
+                return;
+            }
+        };
+        self.record.cpm_delivered += 1;
+        let own_range = self
+            .config
+            .second_hazard
+            .map_or(0.0, |h| h.own_sensor_range_m);
+        let rsu_pos = self.rsu.position();
+        let protagonist = self.protagonist_position();
+        for object in &cpm.perceived_objects {
+            let (dx, dy) = object.offset_m();
+            let lab = Position2D::new(rsu_pos.x + dx, rsu_pos.y + dy);
+            let range_m = protagonist.distance(lab);
+            let (lat, lon) = lab_to_geo(GEO_ORIGIN, lab);
+            let class_label = match object.class {
+                ObjectClass::Unknown => "unknown",
+                ObjectClass::Vehicle => "vehicle",
+                ObjectClass::Person => "person",
+                ObjectClass::Obstacle => "obstacle",
+            };
+            self.obu.ldm_mut().insert_object(
+                now,
+                PerceivedObject {
+                    id: u32::from(object.object_id),
+                    position: ReferencePosition::from_degrees(lat, lon),
+                    distance_m: range_m,
+                    class_label,
+                    confidence: f64::from(object.confidence_pct) / 100.0,
+                },
+            );
+            if range_m > own_range {
+                self.record.cpm_extended_detections += 1;
+            }
+            if object.class == ObjectClass::Obstacle && self.obstacle_known.is_none() {
+                self.obstacle_known = Some(now);
+                self.rsu_obstacle_est = Some(range_m);
+                self.record.trace.record_fmt(
+                    now,
+                    "obu",
+                    "cpm_obstacle",
+                    format_args!("obstacle known via CPM at {range_m:.2} m"),
+                );
+            }
         }
     }
 
@@ -505,6 +810,13 @@ impl IntersectionScenario {
         };
         for packet in packets {
             let bytes = packet.to_bytes();
+            // Fault plane: a crashed or silenced RSU keeps the DENM off
+            // the air entirely.
+            if self.injector.node_down(handoff, FaultNode::Rsu)
+                || self.injector.radio_drop(handoff, FaultNode::Rsu)
+            {
+                continue;
+            }
             let start = self
                 .rsu
                 .channel_access(handoff, &packet, &self.medium, &mut self.rng);
@@ -519,7 +831,15 @@ impl IntersectionScenario {
                 &mut self.rng,
             );
             if outcome.delivered {
-                queue.schedule_at(outcome.arrival, Event::ObuRx);
+                // Bit corruption feeds the damaged frame through the
+                // real GeoNetworking decoder; a reject drops the DENM.
+                match self.injector.corrupt_frame(start, &bytes) {
+                    Some(corrupted) => match geonet::GnPacket::from_bytes(&corrupted) {
+                        Ok(_) => queue.schedule_at(outcome.arrival, Event::ObuRx),
+                        Err(_) => self.injector.note_rejected(),
+                    },
+                    None => queue.schedule_at(outcome.arrival, Event::ObuRx),
+                }
             }
         }
         self.record
@@ -528,6 +848,10 @@ impl IntersectionScenario {
     }
 
     fn on_obu_rx(&mut self, now: SimTime) {
+        // A crashed OBU never takes delivery.
+        if self.injector.node_down(now, FaultNode::Obu) {
+            return;
+        }
         if !self.record.denm_delivered {
             self.record.denm_delivered = true;
             self.record
@@ -545,7 +869,14 @@ impl IntersectionScenario {
                 .polling
                 .sample_http_rtt(&mut self.rng)
                 .min(self.config.polling.http_base * 4);
-            queue.schedule_after(now, rtt, Event::PowerCut);
+            // Fault plane: a stalled HTTP exchange costs one extra
+            // polling period before the command lands.
+            let stall = if self.injector.http_stall(now) {
+                self.config.polling.period
+            } else {
+                SimDuration::from_nanos(0)
+            };
+            queue.schedule_after(now, rtt + stall, Event::PowerCut);
         }
         if !self.done && self.record.actuation.is_none() {
             queue.schedule_at(
@@ -558,6 +889,11 @@ impl IntersectionScenario {
     }
 
     fn on_power_cut(&mut self, now: SimTime) {
+        // A crashed ECU loses the power-cut command: the vehicle keeps
+        // rolling — the catastrophic end of the degradation ladder.
+        if self.injector.node_down(now, FaultNode::Ecu) {
+            return;
+        }
         if self.record.actuation.is_none() {
             self.record.actuation = Some(now);
             self.planner.force_stop();
@@ -587,6 +923,7 @@ impl EventHandler for IntersectionScenario {
             Event::ObuRx => self.on_obu_rx(now),
             Event::VehiclePoll => self.on_vehicle_poll(now, queue),
             Event::PowerCut => self.on_power_cut(now),
+            Event::CpmRx { bytes } => self.on_cpm_rx(now, &bytes),
         }
     }
 }
@@ -660,5 +997,90 @@ mod tests {
         assert!(record.trace.first_of_kind("conflict").is_some());
         assert!(record.trace.first_of_kind("denm_tx").is_some());
         assert!(record.trace.first_of_kind("power_cut").is_some());
+    }
+
+    #[test]
+    fn empty_fault_plan_is_a_strict_noop() {
+        // The injector hooks and the CPM/second-hazard plumbing must
+        // leave a default-config run byte-identical: same trace digest,
+        // same outcome, zero fault activity.
+        let cfg = IntersectionConfig {
+            seed: 1,
+            ..IntersectionConfig::default()
+        };
+        let record = IntersectionScenario::new(cfg).run();
+        assert_eq!(record.fault, FaultStats::default());
+        assert_eq!(record.cpm_sent, 0);
+        assert_eq!(record.cpm_delivered, 0);
+        assert!(!record.second_hazard_braked);
+    }
+
+    fn blind_corner_config(cpm_on: bool) -> IntersectionConfig {
+        IntersectionConfig {
+            seed: 1,
+            // The road user crosses early so the classic conflict does
+            // not fire; the second hazard is the only threat.
+            protagonist_start_m: 12.0,
+            road_user_start_m: 5.0,
+            conflict_window_s: 0.8,
+            second_hazard: Some(SecondHazard::default()),
+            cpm: cpm_on.then(CpServiceConfig::default),
+            ..IntersectionConfig::default()
+        }
+    }
+
+    #[test]
+    fn cpm_sees_the_second_hazard_the_own_sensor_misses() {
+        let on = IntersectionScenario::new(blind_corner_config(true)).run();
+        assert!(on.cpm_sent > 0, "{on:?}");
+        assert!(on.cpm_delivered > 0, "{on:?}");
+        assert!(on.cpm_extended_detections > 0, "{on:?}");
+        assert!(on.second_hazard_braked, "{on:?}");
+        assert!(on.second_hazard_via_cpm, "cpm warned before the corner");
+        assert!(!on.collision, "{on:?}");
+
+        let off = IntersectionScenario::new(blind_corner_config(false)).run();
+        assert_eq!(off.cpm_sent, 0);
+        assert_eq!(off.cpm_extended_detections, 0);
+        assert!(!off.second_hazard_via_cpm, "no CPM, no cooperative warning");
+        assert!(
+            off.collision,
+            "own sensing alone is too late past the blind corner: {off:?}"
+        );
+    }
+
+    #[test]
+    fn rsu_radio_silence_suppresses_the_denm() {
+        use faults::{FaultKind, FaultSpec, FaultWindow};
+        let record = IntersectionScenario::new(IntersectionConfig {
+            seed: 1,
+            fault_plan: FaultPlan::new(vec![FaultSpec {
+                kind: FaultKind::StuckTransmitter {
+                    node: FaultNode::Rsu,
+                },
+                window: FaultWindow::always(),
+            }]),
+            ..IntersectionConfig::default()
+        })
+        .run();
+        assert!(record.denm_sent, "the edge still predicts the conflict");
+        assert!(!record.denm_delivered, "but nothing leaves the RSU");
+        assert!(record.collision, "{record:?}");
+        assert!(record.fault.injected > 0);
+    }
+
+    #[test]
+    fn obu_crash_ignores_a_delivered_cpm() {
+        use faults::{FaultKind, FaultSpec, FaultWindow};
+        let mut cfg = blind_corner_config(true);
+        cfg.fault_plan = FaultPlan::new(vec![FaultSpec {
+            kind: FaultKind::NodeCrash {
+                node: FaultNode::Obu,
+            },
+            window: FaultWindow::always(),
+        }]);
+        let record = IntersectionScenario::new(cfg).run();
+        assert_eq!(record.cpm_delivered, 0, "{record:?}");
+        assert!(!record.second_hazard_via_cpm);
     }
 }

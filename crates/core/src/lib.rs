@@ -54,6 +54,7 @@ pub mod ablation;
 pub mod campaign;
 pub mod city;
 pub mod congestion;
+pub mod coopsweep;
 pub mod experiments;
 pub mod faultsweep;
 pub mod intersection;

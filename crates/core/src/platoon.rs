@@ -13,6 +13,7 @@
 //! whole-platoon detection-to-action delay is the worst vehicle's, and
 //! the minimum inter-vehicle gap tells whether the platoon stayed safe.
 
+use faults::{FaultInjector, FaultNode, FaultPlan, FaultStats};
 use openc2x::node::PollingModel;
 use phy80211p::cellular::{CellularLink, CellularProfile};
 use phy80211p::channel::{Channel, ChannelConfig};
@@ -21,6 +22,7 @@ use phy80211p::ofdm::{airtime, DataRate};
 use phy80211p::Position2D;
 use sim_core::{SimDuration, SimRng, SimTime};
 use vehicle::dynamics::{LongitudinalModel, VehicleParams};
+use vehicle::watchdog::{DegradationLevel, V2xWatchdog, WatchdogConfig};
 
 /// How the DENM reaches the platoon.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,6 +66,15 @@ pub struct PlatoonConfig {
     /// the followers still depend on the (relayed) DENM — the classic
     /// platoon emergency-brake hazard where late delivery closes gaps.
     pub leader_brakes_on_detection: bool,
+    /// Fault schedule threaded through the run. The empty plan is a
+    /// strict no-op: no injector method draws, so every legacy RNG
+    /// stream — and therefore the whole record — stays byte-identical.
+    pub fault_plan: FaultPlan,
+    /// Per-follower V2V heartbeat watchdog. `Some` enables the leader's
+    /// CAM heartbeat, its hop-by-hop relay down the string, and the
+    /// fail-safe degradation cascade (DESIGN.md §15); `None` keeps the
+    /// legacy open-loop stop profiles untouched.
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl Default for PlatoonConfig {
@@ -82,6 +93,8 @@ impl Default for PlatoonConfig {
             forward_processing_s: 0.004,
             vehicle: VehicleParams::default(),
             leader_brakes_on_detection: false,
+            fault_plan: FaultPlan::default(),
+            watchdog: None,
         }
     }
 }
@@ -101,6 +114,15 @@ pub struct PlatoonRecord {
     pub platoon_action_ms: f64,
     /// Vehicles that never received the DENM.
     pub undelivered: usize,
+    /// Followers that left nominal driving under the heartbeat-relay
+    /// degradation cascade (0 when the watchdog is off).
+    pub cascade_depth: usize,
+    /// Followers that latched the watchdog's controlled stop.
+    pub failsafe_stops: usize,
+    /// Relayed leader heartbeats delivered across all followers.
+    pub heartbeats_delivered: u64,
+    /// Fault-plane counters (injections plus watchdog trips).
+    pub fault: FaultStats,
 }
 
 impl PlatoonRecord {
@@ -123,6 +145,14 @@ impl PlatoonRecord {
 pub fn run_platoon(config: &PlatoonConfig) -> PlatoonRecord {
     assert!(config.n_vehicles > 0, "platoon needs at least one vehicle");
     let mut rng = SimRng::seed_from(config.seed);
+    // Forking is draw-free on the parent, so carving out the fault
+    // stream and one stream per platoon member leaves every legacy draw
+    // below byte-identical — the empty-plan no-op invariant.
+    let mut injector = FaultInjector::new(config.fault_plan.clone(), rng.fork("faults"));
+    let member_root = rng.fork("member-faults");
+    let mut member_injectors: Vec<FaultInjector> = (0..config.n_vehicles)
+        .map(|i| FaultInjector::new(config.fault_plan.clone(), member_root.fork_u64(i as u64)))
+        .collect();
     let channel = Channel::new(config.channel.clone());
     let mac = EdcaMac::new();
     let mut medium = Medium::new();
@@ -148,6 +178,15 @@ pub fn run_platoon(config: &PlatoonConfig) -> PlatoonRecord {
             let at = airtime(config.frame_bytes, config.data_rate);
             medium.occupy(start + at);
             for (i, pos) in positions.iter().enumerate() {
+                // Fault plane: the medium loses this receiver's copy
+                // (radio silence / stuck RSU transmitter) or the
+                // receiving member is crashed. Plans targeting member i
+                // draw only from member i's forked stream.
+                if injector.radio_drop(start, FaultNode::Rsu)
+                    || member_injectors[i].node_down(start, FaultNode::Platoon(i as u8))
+                {
+                    continue;
+                }
                 let out = channel.transmit(
                     start,
                     rsu_pos,
@@ -163,8 +202,12 @@ pub fn run_platoon(config: &PlatoonConfig) -> PlatoonRecord {
         }
         PlatoonLink::LeaderCellularRelay(profile) => {
             let link = CellularLink::new(profile);
+            // Fault plane: the cellular downlink counts as an RSU-side
+            // transmission; a crashed leader cannot receive it.
+            let leg_lost = injector.radio_drop(send, FaultNode::Rsu)
+                || member_injectors[0].node_down(send, FaultNode::Platoon(0));
             let out = link.send(send, &mut rng);
-            if out.delivered {
+            if out.delivered && !leg_lost {
                 arrivals[0] = Some(out.arrival);
                 // Hop-by-hop forward i → i+1 over 802.11p, using the real
                 // GeoNetworking GBC forwarding rules (hop-limit decrement
@@ -203,6 +246,14 @@ pub fn run_platoon(config: &PlatoonConfig) -> PlatoonRecord {
                         geonet::forwarding::ForwardDecision::Discard(_) => break,
                     }
                     t += SimDuration::from_secs_f64(config.forward_processing_s);
+                    // Fault plane: hop i−1 → i dies when the forwarding
+                    // member's transmitter is silenced or the receiving
+                    // member is crashed; the rest of the chain starves.
+                    if member_injectors[i - 1].radio_drop(t, FaultNode::Platoon((i - 1) as u8))
+                        || member_injectors[i].node_down(t, FaultNode::Platoon(i as u8))
+                    {
+                        break;
+                    }
                     let start = mac.access_time(t, AccessCategory::Voice, &medium, &mut rng);
                     let at = airtime(config.frame_bytes, config.data_rate);
                     medium.occupy(start + at);
@@ -236,14 +287,57 @@ pub fn run_platoon(config: &PlatoonConfig) -> PlatoonRecord {
         if let Some(arrival) = arrivals[i] {
             let poll = config.polling.next_poll(arrival, phases[i]);
             let rtt = config.polling.sample_http_rtt(&mut rng);
-            action_times[i] = Some(poll + rtt);
+            // Fault plane: a stalled ECU poll misses this cycle and
+            // picks the DENM up one period later.
+            let stall = if member_injectors[i].http_stall(poll) {
+                config.polling.period
+            } else {
+                SimDuration::ZERO
+            };
+            action_times[i] = Some(poll + stall + rtt);
+        }
+    }
+
+    // --- V2V heartbeat relay + fail-safe degradation cascade. ---
+    //
+    // With the watchdog enabled, the leader originates a CAM heartbeat
+    // every `heartbeat_period` and each member relays it to its
+    // follower, so silencing one transmitter starves every watchdog
+    // downstream — the cascading failure this scenario exists to show.
+    let horizon = SimTime::from_millis(2 * 30_000);
+    let mut dogs: Vec<V2xWatchdog> = Vec::new();
+    let mut hb_times: Vec<Vec<SimTime>> = vec![Vec::new(); config.n_vehicles];
+    let mut heartbeats_delivered = 0u64;
+    if let Some(wcfg) = config.watchdog {
+        dogs = (0..config.n_vehicles)
+            .map(|_| V2xWatchdog::new(wcfg))
+            .collect();
+        let mut t = SimTime::ZERO + wcfg.heartbeat_period;
+        while t <= horizon {
+            let mut reached = true;
+            for k in 1..config.n_vehicles {
+                if !reached {
+                    break; // nothing left to relay downstream
+                }
+                let tx = k - 1;
+                let lost = member_injectors[tx].radio_drop(t, FaultNode::Platoon(tx as u8))
+                    || member_injectors[k].node_down(t, FaultNode::Platoon(k as u8));
+                if lost {
+                    reached = false;
+                } else {
+                    hb_times[k].push(t);
+                    heartbeats_delivered += 1;
+                }
+            }
+            t += wcfg.heartbeat_period;
         }
     }
 
     // --- Stop profiles and minimum gaps. ---
     let mut braking = Vec::with_capacity(config.n_vehicles);
     let mut stop_profiles: Vec<Vec<(f64, f64)>> = Vec::with_capacity(config.n_vehicles);
-    for action_time in action_times.iter().take(config.n_vehicles) {
+    let mut latched_stops = 0usize;
+    for (i, action_time) in action_times.iter().take(config.n_vehicles).enumerate() {
         let mut car = LongitudinalModel::new(config.vehicle);
         car.set_speed(config.speed_mps);
         // Position along the travel direction (vehicles drive in −x).
@@ -253,7 +347,16 @@ pub fn run_platoon(config: &PlatoonConfig) -> PlatoonRecord {
         let mut t = 0.0;
         let mut travelled = 0.0;
         let mut brake_start_odo = None;
-        for _ in 0..30_000 {
+        // Cascade state (watchdog enabled, followers only): the next
+        // relayed heartbeat to feed, and whether a controlled stop has
+        // latched (a stopped member stays stopped even on recovery).
+        let mut hb_next = 0usize;
+        let mut latched_stop = false;
+        let scale = config
+            .watchdog
+            .map(|w| w.failsafe_throttle_scale)
+            .unwrap_or(1.0);
+        for step in 0..30_000u64 {
             let throttle = match cut_at {
                 Some(cut) if t >= cut => {
                     if brake_start_odo.is_none() {
@@ -264,6 +367,28 @@ pub fn run_platoon(config: &PlatoonConfig) -> PlatoonRecord {
                 // Hold speed with the throttle that balances resistance.
                 _ => 0.214,
             };
+            // Degradation ladder: when the watchdog is off `dogs` is
+            // empty and this branch never runs, so the legacy float
+            // sequence is untouched.
+            let throttle = match dogs.get_mut(i).filter(|_| i > 0) {
+                None => throttle,
+                Some(dog) => {
+                    let now = SimTime::from_millis(step * 2);
+                    while hb_times[i].get(hb_next).is_some_and(|hb| *hb <= now) {
+                        dog.heartbeat(hb_times[i][hb_next]);
+                        hb_next += 1;
+                    }
+                    match dog.assess(now) {
+                        _ if latched_stop => 0.0,
+                        DegradationLevel::Nominal => throttle,
+                        DegradationLevel::SpeedCap => throttle * scale,
+                        DegradationLevel::ControlledStop => {
+                            latched_stop = true;
+                            0.0
+                        }
+                    }
+                }
+            };
             travelled = car.distance_m();
             profile.push((t, travelled));
             if cut_at.is_some_and(|c| t > c) && car.speed_mps() <= 0.0 {
@@ -273,6 +398,9 @@ pub fn run_platoon(config: &PlatoonConfig) -> PlatoonRecord {
             t += dt;
         }
         let _ = travelled;
+        if latched_stop {
+            latched_stops += 1;
+        }
         braking.push(match brake_start_odo {
             Some(start) => car.distance_m() - start,
             None => f64::NAN,
@@ -322,6 +450,25 @@ pub fn run_platoon(config: &PlatoonConfig) -> PlatoonRecord {
         .filter(|x| !x.is_nan())
         .fold(0.0f64, f64::max);
 
+    // Cascade depth: how many followers the heartbeat starvation pushed
+    // out of nominal driving (the leader's dog is never consulted, so
+    // only indices 1.. can trip).
+    let mut cascade_depth = 0usize;
+    let mut fault = injector.stats();
+    for inj in &member_injectors {
+        fault.absorb(&inj.stats());
+    }
+    for dog in dogs.iter().skip(1) {
+        let trips = dog.trips();
+        if trips.speed_caps + trips.stops > 0 {
+            cascade_depth += 1;
+        }
+        fault.watchdog_speed_caps += trips.speed_caps;
+        fault.watchdog_stops += trips.stops;
+        fault.watchdog_recoveries += trips.recoveries;
+    }
+    fault.failsafe_stop |= latched_stops > 0;
+
     PlatoonRecord {
         denm_rx_ms,
         action_ms,
@@ -329,6 +476,10 @@ pub fn run_platoon(config: &PlatoonConfig) -> PlatoonRecord {
         min_gap_m: min_gap,
         platoon_action_ms,
         undelivered,
+        cascade_depth,
+        failsafe_stops: latched_stops,
+        heartbeats_delivered,
+        fault,
     }
 }
 

@@ -21,7 +21,7 @@
 //! measurement noise as the paper's Table II.
 
 use facilities::ldm::PerceivedObject;
-use faults::{FaultInjector, FaultNode, FaultPlan, FaultStats};
+use faults::{CoopStats, FaultInjector, FaultNode, FaultPlan, FaultStats};
 use its_messages::common::{ReferencePosition, StationId};
 use openc2x::http::{poll_with_retry, RetryPolicy};
 use openc2x::node::{lab_to_geo, FrameOutcome, ItsStation, PollingModel, StationConfig};
@@ -220,6 +220,9 @@ pub struct RunRecord {
     /// Fault-injection and degradation counters (all zero on a
     /// faultless run; wire version 2 appends them to the frame).
     pub fault: FaultStats,
+    /// Cooperative-scenario outcome counters (wire version 3 appends
+    /// them; the single-vehicle DES only ever fills `failsafe_stops`).
+    pub coop: CoopStats,
     /// Event trace of the run.
     pub trace: Trace,
 }
@@ -562,6 +565,7 @@ impl Scenario {
             fault.watchdog_stops = trips.stops;
             fault.watchdog_recoveries = trips.recoveries;
         }
+        self.record.coop.failsafe_stops = u64::from(fault.failsafe_stop);
         self.record.fault = fault;
         self.record
     }

@@ -6,11 +6,11 @@
 //! ([`geonet::bytesio`]): big-endian, panic-free, a failed read is a
 //! typed error and never a panic.
 //!
-//! # Frame layout (version 2)
+//! # Frame layout (version 3)
 //!
 //! ```text
 //! u32  payload length          (length prefix, not counting itself)
-//! u8   version                 (WIRE_VERSION = 2)
+//! u8   version                 (WIRE_VERSION = 3)
 //! ...  fields in declaration order:
 //!        Option<SimTime>       presence u8 (0|1) + u64 nanos
 //!        Option<u64>/Option<f64> presence u8 + u64 (f64 via to_bits)
@@ -20,6 +20,7 @@
 //!        Trace                 u32 count + events, each
 //!                                u64 nanos + 3 × (u32 len + UTF-8 bytes)
 //!        FaultStats            8 × u64 + 2 × bool (appended by v2)
+//!        CoopStats             3 × u64 (appended by v3)
 //! ```
 //!
 //! Decoding is strict: unknown version, presence, or bool bytes are
@@ -33,17 +34,18 @@
 //! accepting every older version it has shipped: a version-1 frame
 //! (before the fault plane existed) decodes to a record whose
 //! [`FaultStats`] counters are all zero — exactly what a faultless v1
-//! run would have reported — never to an error. Versions newer than
-//! [`WIRE_VERSION`] are rejected.
+//! run would have reported — and a version-2 frame (before the
+//! cooperative layer) decodes with zeroed [`CoopStats`] the same way.
+//! Versions newer than [`WIRE_VERSION`] are rejected.
 
 use crate::scenario::RunRecord;
-use faults::FaultStats;
+use faults::{CoopStats, FaultStats};
 use geonet::bytesio::{ByteReader, ByteWriterExt};
 use geonet::GeonetError;
 use sim_core::{SimTime, Trace, TraceEvent};
 
 /// Current wire format version; bumped on any layout change.
-pub const WIRE_VERSION: u8 = 2;
+pub const WIRE_VERSION: u8 = 3;
 
 /// Oldest version [`RunRecord::decode`] still accepts.
 pub const MIN_WIRE_VERSION: u8 = 1;
@@ -174,6 +176,20 @@ fn put_fault_stats(out: &mut Vec<u8>, s: &FaultStats) {
     put_bool(out, s.overran_camera);
 }
 
+fn put_coop_stats(out: &mut Vec<u8>, s: &CoopStats) {
+    out.put_u64(s.cascade_depth);
+    out.put_u64(s.cpm_extended_detections);
+    out.put_u64(s.failsafe_stops);
+}
+
+fn get_coop_stats(r: &mut ByteReader<'_>) -> Result<CoopStats, WireError> {
+    Ok(CoopStats {
+        cascade_depth: r.u64()?,
+        cpm_extended_detections: r.u64()?,
+        failsafe_stops: r.u64()?,
+    })
+}
+
 fn get_fault_stats(r: &mut ByteReader<'_>) -> Result<FaultStats, WireError> {
     Ok(FaultStats {
         injected: r.u64()?,
@@ -222,6 +238,7 @@ impl RunRecord {
             put_str(&mut p, &e.detail);
         }
         put_fault_stats(&mut p, &self.fault);
+        put_coop_stats(&mut p, &self.coop);
         let mut out = Vec::with_capacity(p.len() + 4);
         out.put_u32(p.len() as u32);
         out.extend_from_slice(&p);
@@ -290,6 +307,13 @@ impl RunRecord {
         } else {
             FaultStats::default()
         };
+        // Version 2 predates the cooperative layer; its records decode
+        // with zeroed coop counters.
+        let coop = if version >= 3 {
+            get_coop_stats(&mut p)?
+        } else {
+            CoopStats::default()
+        };
         if p.remaining() != 0 {
             return Err(WireError::TrailingBytes(p.remaining()));
         }
@@ -314,6 +338,7 @@ impl RunRecord {
             events_dispatched,
             trace,
             fault,
+            coop,
         })
     }
 }
@@ -434,7 +459,29 @@ mod tests {
             events_dispatched: 412,
             trace,
             fault: FaultStats::default(),
+            coop: CoopStats::default(),
         }
+    }
+
+    /// Size of the fault-stats tail version 2 appended to v1 frames.
+    const V2_TAIL: usize = 8 * 8 + 2; // 8 u64 counters + 2 bools
+
+    /// Size of the coop-stats tail version 3 appends to v2 frames.
+    const V3_TAIL: usize = 3 * 8; // 3 u64 counters
+
+    /// The captured v1 frame re-framed as the version-2 encoder wrote
+    /// it: length prefix grown by the fault-stats tail, version byte
+    /// bumped, zeroed tail appended. Byte-for-byte what the v2 build
+    /// produced for the captured record, synthesized instead of
+    /// captured because v2 was defined as exactly this append.
+    fn v2_frame() -> Vec<u8> {
+        let payload_len = (V1_FRAME.len() - 4 + V2_TAIL) as u32;
+        let mut frame = Vec::with_capacity(V1_FRAME.len() + V2_TAIL);
+        frame.extend_from_slice(&payload_len.to_be_bytes());
+        frame.push(2);
+        frame.extend_from_slice(&V1_FRAME[5..]);
+        frame.extend(std::iter::repeat(0).take(V2_TAIL));
+        frame
     }
 
     #[test]
@@ -453,16 +500,35 @@ mod tests {
     }
 
     #[test]
-    fn version2_appends_fault_stats_after_v1_layout() {
+    fn version2_frame_decodes_with_zeroed_coop_counters() {
+        let v2 = v2_frame();
+        assert_eq!(v2[4], 2, "synthetic frame must be version 2");
+        let record = RunRecord::decode(&v2).expect("v2 frame must keep decoding");
+        assert_eq!(record.coop, CoopStats::default());
+        assert_eq!(record, v1_capture_record());
+    }
+
+    #[test]
+    fn version2_frame_truncation_still_fails_cleanly() {
+        let v2 = v2_frame();
+        for cut in 0..v2.len() {
+            assert!(RunRecord::decode(&v2[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn version3_appends_coop_stats_after_v2_layout() {
         // Re-encoding the captured record under the current version must
-        // produce the v1 bytes (with the version byte bumped) followed by
-        // exactly the fault-stats tail — the append-only compat rule.
-        let v2 = v1_capture_record().encode();
-        const TAIL: usize = 8 * 8 + 2; // 8 u64 counters + 2 bools
-        assert_eq!(v2.len(), V1_FRAME.len() + TAIL);
-        assert_eq!(v2[4], WIRE_VERSION);
-        assert_eq!(&v2[5..V1_FRAME.len()], &V1_FRAME[5..]);
-        assert!(v2[V1_FRAME.len()..].iter().all(|&b| b == 0));
+        // produce the v2 bytes (with the version byte bumped) followed by
+        // exactly the coop-stats tail — the append-only compat rule,
+        // applied once per version bump.
+        let v2 = v2_frame();
+        let v3 = v1_capture_record().encode();
+        assert_eq!(v3.len(), v2.len() + V3_TAIL);
+        assert_eq!(v3.len(), V1_FRAME.len() + V2_TAIL + V3_TAIL);
+        assert_eq!(v3[4], WIRE_VERSION);
+        assert_eq!(&v3[5..v2.len()], &v2[5..]);
+        assert!(v3[v2.len()..].iter().all(|&b| b == 0));
     }
 
     #[test]
@@ -480,8 +546,14 @@ mod tests {
             failsafe_stop: true,
             overran_camera: false,
         };
+        record.coop = CoopStats {
+            cascade_depth: 3,
+            cpm_extended_detections: 12,
+            failsafe_stops: 2,
+        };
         let back = RunRecord::decode(&record.encode()).unwrap();
         assert_eq!(back.fault, record.fault);
+        assert_eq!(back.coop, record.coop);
         assert!(records_bitwise_equal(&record, &back));
     }
 

@@ -44,6 +44,7 @@ const NAMED_HELPERS: &[(&str, &str)] = &[
     ("put_bool", "bool"),
     ("put_str", "str"),
     ("put_fault_stats", "fault_stats"),
+    ("put_coop_stats", "coop_stats"),
 ];
 
 /// Extracts the live schema from the wire module's token stream:
@@ -343,6 +344,7 @@ impl RunRecord {
             put_str(&mut p, &e.node);
         }
         put_fault_stats(&mut p, &self.fault);
+        put_coop_stats(&mut p, &self.coop);
         p
     }
     pub fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
@@ -359,6 +361,7 @@ impl RunRecord {
             let node = get_str(&mut p)?;
         }
         let fault = if version >= 2 { get_fault_stats(&mut p)? } else { FaultStats::default() };
+        let coop = if version >= 3 { get_coop_stats(&mut p)? } else { CoopStats::default() };
         Ok(RunRecord { step2_detection })
     }
 }
@@ -381,6 +384,7 @@ impl RunRecord {
             ("u64", "cams_received"),
             ("trace", "trace"),
             ("fault_stats", "fault"),
+            ("coop_stats", "coop"),
         ];
         let got: Vec<(&str, &str)> = s
             .fields

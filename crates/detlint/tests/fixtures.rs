@@ -119,7 +119,7 @@ fn reordering_live_wire_fields_fails_w1() {
 
     // Dropping the trailing field fails too: truncation reads as a
     // removal, and the wire format is append-only.
-    let removed = wire.replace("put_fault_stats(&mut p, &self.fault);", "");
+    let removed = wire.replace("put_coop_stats(&mut p, &self.coop);", "");
     assert_ne!(removed, wire);
     let live = schema::extract(&lex(&removed).tokens).unwrap();
     assert!(schema::compare(&snap, &live)

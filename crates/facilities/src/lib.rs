@@ -11,6 +11,9 @@
 //!   `T_GenCam` trigger rules (heading / position / speed deltas),
 //! * [`den::DenService`] — DENM trigger / update / terminate with
 //!   repetition and validity handling (EN 302 637-3 `AppDENM_*`),
+//! * [`cpm::CpService`] — collective perception (TS 103 324 profile):
+//!   CPMs carry a station's own detections so a receiver's LDM extends
+//!   past its sensor range,
 //! * [`ldm::Ldm`] — keyed store of CAM-tracked stations, active DENMs and
 //!   locally-perceived objects, with area queries and garbage collection.
 //!
@@ -22,9 +25,11 @@
 #![warn(missing_docs)]
 
 pub mod ca;
+pub mod cpm;
 pub mod den;
 pub mod ldm;
 
 pub use ca::{CaService, CamTriggerConfig, StationState};
+pub use cpm::{CpService, CpServiceConfig, Cpm, CpmPerceivedObject, ObjectClass};
 pub use den::{DenRequest, DenService};
 pub use ldm::{Ldm, PerceivedObject};

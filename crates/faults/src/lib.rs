@@ -53,6 +53,10 @@ pub enum FaultNode {
     Obu,
     /// Vehicle ECU: the HTTP poll loop and actuation.
     Ecu,
+    /// Platoon member `i` (0 = the leader). Targets the V2V radio of
+    /// one vehicle in a string, so silencing `Platoon(0)` starves every
+    /// follower's heartbeat relay downstream.
+    Platoon(u8),
 }
 
 /// A half-open activation window `[from, until)` in simulated time.
@@ -201,11 +205,13 @@ impl FaultPlan {
                 SimTime::from_nanos(from_ns.saturating_add(len_ns)),
             );
             let prob = rng.uniform(0.05, 1.0);
-            let node = match rng.below(4) {
+            let node = match rng.below(6) {
                 0 => FaultNode::Edge,
                 1 => FaultNode::Rsu,
                 2 => FaultNode::Obu,
-                _ => FaultNode::Ecu,
+                3 => FaultNode::Ecu,
+                4 => FaultNode::Platoon(0),
+                _ => FaultNode::Platoon(1 + rng.below(3) as u8),
             };
             let kind = match rng.below(9) {
                 0 => FaultKind::CameraFrameDrop { prob },
@@ -258,6 +264,55 @@ pub struct FaultStats {
     /// The vehicle overran the camera position (the collision/overrun
     /// outcome: the hazard was never braked for in time).
     pub overran_camera: bool,
+}
+
+impl FaultStats {
+    /// Accumulates another node's counters into this one. Scenarios with
+    /// several injectors (one per platoon member) merge them into the
+    /// single `FaultStats` that rides in the record; the boolean
+    /// outcomes OR together.
+    pub fn absorb(&mut self, other: &FaultStats) {
+        self.injected += other.injected;
+        self.frames_corrupted += other.frames_corrupted;
+        self.corrupted_rejected += other.corrupted_rejected;
+        self.http_stalls += other.http_stalls;
+        self.http_giveups += other.http_giveups;
+        self.watchdog_speed_caps += other.watchdog_speed_caps;
+        self.watchdog_stops += other.watchdog_stops;
+        self.watchdog_recoveries += other.watchdog_recoveries;
+        self.failsafe_stop |= other.failsafe_stop;
+        self.overran_camera |= other.overran_camera;
+    }
+}
+
+/// Cooperative-scenario outcome counters for one run.
+///
+/// Where [`FaultStats`] counts what the fault plane *did*, `CoopStats`
+/// counts what the cooperative layer *achieved (or lost)* under it:
+/// how far a degradation cascaded down a platoon string, how many
+/// perceived objects reached a vehicle only through collective
+/// perception, and how many stations ended in a fail-safe stop. The
+/// struct rides along in `RunRecord` as the wire-v3 append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CoopStats {
+    /// Followers whose watchdog left nominal driving at least once —
+    /// the depth a leader-side failure cascaded down the string.
+    pub cascade_depth: u64,
+    /// Perceived objects that entered a vehicle's LDM via CPM while
+    /// beyond its own sensor range.
+    pub cpm_extended_detections: u64,
+    /// Stations that ended the run in a fail-safe controlled stop.
+    pub failsafe_stops: u64,
+}
+
+impl CoopStats {
+    /// Accumulates another run's counters into this one (sweep
+    /// aggregation).
+    pub fn absorb(&mut self, other: &CoopStats) {
+        self.cascade_depth += other.cascade_depth;
+        self.cpm_extended_detections += other.cpm_extended_detections;
+        self.failsafe_stops += other.failsafe_stops;
+    }
 }
 
 /// The runtime fault plane: evaluates a [`FaultPlan`] at the
@@ -586,6 +641,20 @@ mod tests {
             20
         );
         assert_eq!(inj.clock_skew_ms(SimTime::from_secs(4), FaultNode::Rsu), 0);
+    }
+
+    #[test]
+    fn platoon_members_are_distinct_targets() {
+        let plan = FaultPlan::new(vec![FaultKind::StuckTransmitter {
+            node: FaultNode::Platoon(0),
+        }
+        .during(FaultWindow::always())]);
+        let mut inj = FaultInjector::new(plan, rng());
+        let t = SimTime::from_secs(1);
+        assert!(inj.radio_drop(t, FaultNode::Platoon(0)));
+        assert!(!inj.radio_drop(t, FaultNode::Platoon(1)));
+        assert!(!inj.radio_drop(t, FaultNode::Rsu));
+        assert_eq!(inj.stats().injected, 1);
     }
 
     #[test]

@@ -17,6 +17,8 @@ impl BtpPort {
     pub const CAM: BtpPort = BtpPort(2001);
     /// Well-known port of the DEN basic service (DENM).
     pub const DENM: BtpPort = BtpPort(2002);
+    /// Well-known port of the CP service (CPM, ETSI TS 103 248).
+    pub const CPM: BtpPort = BtpPort(2009);
 }
 
 impl std::fmt::Display for BtpPort {
@@ -24,6 +26,7 @@ impl std::fmt::Display for BtpPort {
         match *self {
             BtpPort::CAM => write!(f, "btp:2001(CAM)"),
             BtpPort::DENM => write!(f, "btp:2002(DENM)"),
+            BtpPort::CPM => write!(f, "btp:2009(CPM)"),
             BtpPort(p) => write!(f, "btp:{p}"),
         }
     }

@@ -15,14 +15,17 @@ pub enum MessageId {
     Denm,
     /// CAM — messageID 2.
     Cam,
+    /// CPM — messageID 14 (TS 103 324 collective perception).
+    Cpm,
 }
 
 impl MessageId {
-    /// Wire value per EN 302 637.
+    /// Wire value per EN 302 637 / TS 103 324.
     pub fn code(&self) -> u8 {
         match self {
             MessageId::Denm => 1,
             MessageId::Cam => 2,
+            MessageId::Cpm => 14,
         }
     }
 
@@ -30,11 +33,13 @@ impl MessageId {
     ///
     /// # Errors
     ///
-    /// Returns [`uper::UperError::InvalidEnum`] for codes other than 1 or 2.
+    /// Returns [`uper::UperError::InvalidEnum`] for codes other than 1,
+    /// 2 or 14.
     pub fn from_code(code: u8) -> uper::Result<Self> {
         match code {
             1 => Ok(MessageId::Denm),
             2 => Ok(MessageId::Cam),
+            14 => Ok(MessageId::Cpm),
             other => Err(enum_err(u64::from(other), "MessageId")),
         }
     }
@@ -104,7 +109,9 @@ mod tests {
     fn message_id_codes() {
         assert_eq!(MessageId::Denm.code(), 1);
         assert_eq!(MessageId::Cam.code(), 2);
+        assert_eq!(MessageId::Cpm.code(), 14);
         assert_eq!(MessageId::from_code(1).unwrap(), MessageId::Denm);
+        assert_eq!(MessageId::from_code(14).unwrap(), MessageId::Cpm);
         assert!(MessageId::from_code(3).is_err());
     }
 

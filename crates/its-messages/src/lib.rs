@@ -116,6 +116,14 @@ impl Codec for ItsMessage {
         match header.message_id {
             MessageId::Cam => Ok(ItsMessage::Cam(cam::Cam::decode(r)?)),
             MessageId::Denm => Ok(ItsMessage::Denm(denm::Denm::decode(r)?)),
+            // CPMs (TS 103 324) live in the facilities crate, which
+            // depends on this one; the EN 302 637 dispatch enum cannot
+            // embed them, so a CPM arriving here is a routing error —
+            // stations deliver BTP port 2009 to `facilities::cpm`.
+            MessageId::Cpm => Err(enum_err(
+                u64::from(MessageId::Cpm.code()),
+                "ItsMessage (CPM is decoded by facilities::cpm)",
+            )),
         }
     }
 }

@@ -63,6 +63,15 @@ cargo run -q -p campaignd --example campaign_server --release -- --workers 2 >/d
 echo "==> fault-campaign smoke (fault_sweep, 2 runs/cell)"
 cargo run -q -p its-testbed --example fault_sweep --release -- --runs 2 >/dev/null
 
+# Cooperative fault-cascade smoke (DESIGN.md §15): the blind-corner CPM
+# ablation must hold in the checked-out tree — the example exits
+# non-zero unless the CPM-on run clears the occluded obstacle the
+# CPM-off run collides with — and the platoon example must run its
+# degradation cascade under full leader radio silence.
+echo "==> cooperative fault-cascade smoke (blind_corner + platoon_braking)"
+cargo run -q -p its-testbed --example blind_corner --release >/dev/null
+cargo run -q -p its-testbed --example platoon_braking --release -- --faults leader_silence:1.0 >/dev/null
+
 # Bench smoke: run the campaign-throughput bench in quick mode (32 runs
 # per table) so the harness, its serial-vs-parallel bit-equality
 # assertion, and the JSON writer all execute; then restore the tracked
